@@ -1,0 +1,192 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each bench runs the corresponding experiment and reports the headline
+// quantities as custom metrics (so `go test -bench` output is a compact
+// paper-vs-measured summary). Use -short for reduced op counts.
+//
+//	go test -bench=. -benchmem
+package hwdp_test
+
+import (
+	"testing"
+
+	"hwdp/internal/area"
+	"hwdp/internal/figures"
+)
+
+func params(b *testing.B) figures.Params {
+	b.Helper()
+	if testing.Short() {
+		return figures.Quick()
+	}
+	return figures.Default()
+}
+
+func BenchmarkFig01_YCSBBreakdownVsRatio(b *testing.B) {
+	p := params(b)
+	for i := 0; i < b.N; i++ {
+		r, err := figures.Fig1(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := r.Rows[len(r.Rows)-1]
+		b.ReportMetric(100*last.PageFaultFrac, "fault%@4:1")
+		b.ReportMetric(100*r.Rows[0].PageFaultFrac, "fault%@0.5:1")
+	}
+}
+
+func BenchmarkFig03_SingleFaultBreakdown(b *testing.B) {
+	p := params(b)
+	for i := 0; i < b.N; i++ {
+		r, err := figures.Fig3(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.OverheadFrac, "overhead%of-device(paper:76.3)")
+		b.ReportMetric(r.Measured.Micros(), "fault-us")
+	}
+}
+
+func BenchmarkFig04_FaultImpactOnYCSB(b *testing.B) {
+	p := params(b)
+	for i := 0; i < b.N; i++ {
+		r, err := figures.Fig4(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ThroughputNorm, "osdp/ideal-throughput(paper:<0.5)")
+		b.ReportMetric(r.IPCNorm, "osdp/ideal-ipc")
+	}
+}
+
+func BenchmarkFig11_BeforeAfterDevice(b *testing.B) {
+	p := params(b)
+	for i := 0; i < b.N; i++ {
+		r, err := figures.Fig11(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.BeforeReduction.Micros(), "before-reduction-us(paper:2.38)")
+		b.ReportMetric(r.AfterReduction.Micros(), "after-reduction-us(paper:6.16)")
+	}
+}
+
+func BenchmarkFig12_FIOLatency(b *testing.B) {
+	p := params(b)
+	for i := 0; i < b.N; i++ {
+		r, err := figures.Fig12(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Rows[0].Reduction, "reduction%@1T(paper:37.0)")
+		b.ReportMetric(100*r.Rows[3].Reduction, "reduction%@8T(paper:27.0)")
+	}
+}
+
+func BenchmarkFig13_ThroughputGains(b *testing.B) {
+	p := params(b)
+	threads := []int{1, 2, 4, 8}
+	if testing.Short() {
+		threads = []int{1, 4}
+	}
+	for i := 0; i < b.N; i++ {
+		r, err := figures.Fig13(p, threads)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Gain("FIO", 1), "fio-gain%@1T(paper:57.1)")
+		b.ReportMetric(100*r.Gain("YCSB-C", 1), "ycsbC-gain%@1T(paper:27.3)")
+		b.ReportMetric(100*r.Gain("YCSB-A", 4), "ycsbA-gain%@4T")
+	}
+}
+
+func BenchmarkFig14_UserIPC(b *testing.B) {
+	p := params(b)
+	for i := 0; i < b.N; i++ {
+		r, err := figures.Fig14(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.IPCGain, "ipc-gain%(paper:7.0)")
+		b.ReportMetric(100*r.HWHandledFrac, "hw-handled%(paper:99.9)")
+	}
+}
+
+func BenchmarkFig15_KernelInstructions(b *testing.B) {
+	p := params(b)
+	for i := 0; i < b.N; i++ {
+		r, err := figures.Fig15(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.InstrReduction, "kinstr-reduction%(paper:62.6)")
+	}
+}
+
+func BenchmarkFig16_SMTCoScheduling(b *testing.B) {
+	p := params(b)
+	for i := 0; i < b.N; i++ {
+		r, err := figures.Fig16(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].FIOGain, "fio-speedup-x(paper:>=1.72)")
+		b.ReportMetric(100*r.Rows[0].SPECIPCGain, "spec-ipc-gain%")
+	}
+}
+
+func BenchmarkFig17_SWOnlyVsHardware(b *testing.B) {
+	p := params(b)
+	for i := 0; i < b.N; i++ {
+		r, err := figures.Fig17(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Rows[0].Reduction, "zssd-reduction%(paper:14)")
+		b.ReportMetric(100*r.Rows[2].Reduction, "pmm-reduction%(paper:44)")
+	}
+}
+
+func BenchmarkKpooldAblation(b *testing.B) {
+	p := params(b)
+	for i := 0; i < b.N; i++ {
+		r, err := figures.KpooldAblation(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Reduction, "refill-fault-reduction%(paper:44-78)")
+	}
+}
+
+func BenchmarkAreaModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := area.SMUReport(22)
+		b.ReportMetric(r.Total, "smu-mm2(paper:0.014)")
+		b.ReportMetric(100*r.DieFraction, "die%(paper:0.004)")
+	}
+}
+
+func BenchmarkAblationPMSHR(b *testing.B) {
+	p := params(b)
+	for i := 0; i < b.N; i++ {
+		r, err := figures.AblationPMSHR(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		small := r.Rows[0].Throughput
+		big := r.Rows[4].Throughput
+		b.ReportMetric(big/small, "speedup-2to32-entries")
+		b.ReportMetric(float64(r.Rows[0].Backlogged), "backlogged@2")
+	}
+}
+
+func BenchmarkAblationDeviceSweep(b *testing.B) {
+	p := params(b)
+	for i := 0; i < b.N; i++ {
+		r, err := figures.AblationDeviceSweep(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Rows[0].Reduction, "zssd-fault-reduction%")
+		b.ReportMetric(100*r.Rows[2].Reduction, "pmm-fault-reduction%")
+	}
+}

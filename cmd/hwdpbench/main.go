@@ -1,0 +1,126 @@
+// Command hwdpbench regenerates the paper's tables and figures on the
+// simulated machine.
+//
+// Usage:
+//
+//	hwdpbench -fig 1|2|3|4|11|12|13|14|15|16|17|kpoold
+//	hwdpbench -table 1|2|area
+//	hwdpbench -all
+//	hwdpbench -quick            # reduced op counts
+//	hwdpbench -threads 1,4      # restrict Fig. 13's thread sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"hwdp/internal/figures"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate (1,2,3,4,11,12,13,14,15,16,17,kpoold,pmshr,devices,prefetch)")
+	table := flag.String("table", "", "table to regenerate (1,2,area)")
+	all := flag.Bool("all", false, "regenerate everything")
+	quick := flag.Bool("quick", false, "use reduced op counts")
+	threadsFlag := flag.String("threads", "", "comma-separated thread counts for -fig 13")
+	flag.Parse()
+
+	p := figures.Default()
+	if *quick {
+		p = figures.Quick()
+	}
+	var threads []int
+	if *threadsFlag != "" {
+		for _, s := range strings.Split(*threadsFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fatal(err)
+			}
+			threads = append(threads, n)
+		}
+	}
+
+	targets := map[string]func() (fmt.Stringer, error){
+		"1":  func() (fmt.Stringer, error) { return figures.Fig1(p) },
+		"2":  func() (fmt.Stringer, error) { return figures.Fig2(), nil },
+		"3":  func() (fmt.Stringer, error) { return figures.Fig3(p) },
+		"4":  func() (fmt.Stringer, error) { return figures.Fig4(p) },
+		"11": func() (fmt.Stringer, error) { return figures.Fig11(p) },
+		"12": func() (fmt.Stringer, error) { return figures.Fig12(p) },
+		"13": func() (fmt.Stringer, error) { return figures.Fig13(p, threads) },
+		"14": func() (fmt.Stringer, error) { return figures.Fig14(p) },
+		"15": func() (fmt.Stringer, error) { return figures.Fig15(p) },
+		"16": func() (fmt.Stringer, error) { return figures.Fig16(p) },
+		"17": func() (fmt.Stringer, error) { return figures.Fig17(p) },
+		"kpoold": func() (fmt.Stringer, error) {
+			return figures.KpooldAblation(p)
+		},
+		"pmshr": func() (fmt.Stringer, error) {
+			return figures.AblationPMSHR(p)
+		},
+		"devices": func() (fmt.Stringer, error) {
+			return figures.AblationDeviceSweep(p)
+		},
+		"prefetch": func() (fmt.Stringer, error) {
+			return figures.AblationPrefetch(p)
+		},
+	}
+	tableTargets := map[string]func() string{
+		"1":    figures.TableI,
+		"2":    func() string { return figures.TableII(p) },
+		"area": figures.AreaTable,
+	}
+
+	order := []string{"1", "2", "3", "4", "11", "12", "13", "14", "15", "16", "17", "kpoold", "pmshr", "devices", "prefetch"}
+
+	ran := false
+	runFig := func(id string) {
+		fn, ok := targets[id]
+		if !ok {
+			fatal(fmt.Errorf("unknown figure %q", id))
+		}
+		start := time.Now()
+		r, err := fn()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r.String())
+		fmt.Printf("  [regenerated in %v]\n\n", time.Since(start).Round(time.Millisecond))
+		ran = true
+	}
+	runTable := func(id string) {
+		fn, ok := tableTargets[id]
+		if !ok {
+			fatal(fmt.Errorf("unknown table %q", id))
+		}
+		fmt.Println(fn())
+		ran = true
+	}
+
+	switch {
+	case *all:
+		for _, id := range []string{"1", "2", "area"} {
+			runTable(id)
+		}
+		for _, id := range order {
+			runFig(id)
+		}
+	case *fig != "":
+		runFig(*fig)
+	case *table != "":
+		runTable(*table)
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hwdpbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module hwdp
+
+go 1.22

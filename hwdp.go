@@ -1,0 +1,419 @@
+// Package hwdp is a simulation library reproducing "A Case for
+// Hardware-Based Demand Paging" (ISCA 2020). It models a complete machine —
+// CPU cores with SMT, MMU/TLB, x86-64-style page tables, an NVMe stack,
+// ultra-low-latency SSDs, and an operating system with a page cache and
+// demand paging — plus the paper's two architectural extensions: the
+// LBA-augmented page table and the Storage Management Unit (SMU).
+//
+// The same workload can run under three demand-paging schemes:
+//
+//   - OSDP: the conventional kernel page-fault path (exception, block
+//     layer, context switch, interrupt).
+//   - SWOnly: LBA-augmented PTEs with a software-emulated SMU (the paper's
+//     Fig. 17 baseline).
+//   - HWDP: full hardware handling — the pipeline stalls while the SMU
+//     fetches the page directly over NVMe.
+//
+// Quickstart:
+//
+//	sys := hwdp.New(hwdp.Config{Scheme: hwdp.HWDP})
+//	lat, _ := sys.ColdPageLatency()
+//	fmt.Println("one hardware-handled page miss:", lat)
+//
+// The heavy lifting lives in the internal packages; this package offers a
+// small synchronous API for experiments and examples, advancing the
+// discrete-event simulation under the hood. For full control (custom
+// workloads, async operation, per-component stats) use the internal
+// packages directly; cmd/hwdpbench regenerates every figure of the paper.
+package hwdp
+
+import (
+	"fmt"
+
+	"hwdp/internal/check"
+	"hwdp/internal/core"
+	"hwdp/internal/fs"
+	"hwdp/internal/kernel"
+	"hwdp/internal/kvs"
+	"hwdp/internal/mmu"
+	"hwdp/internal/pagetable"
+	"hwdp/internal/sim"
+	"hwdp/internal/ssd"
+	"hwdp/internal/workload"
+)
+
+// Scheme selects the demand-paging implementation.
+type Scheme int
+
+// Schemes.
+const (
+	OSDP Scheme = iota
+	SWOnly
+	HWDP
+)
+
+func (s Scheme) String() string { return s.kernel().String() }
+
+func (s Scheme) kernel() kernel.Scheme {
+	switch s {
+	case OSDP:
+		return kernel.OSDP
+	case SWOnly:
+		return kernel.SWDP
+	default:
+		return kernel.HWDP
+	}
+}
+
+// Device selects the storage latency profile.
+type Device int
+
+// Devices (Fig. 17's three generations).
+const (
+	ZSSD Device = iota
+	OptaneSSD
+	OptaneDCPMM
+)
+
+func (d Device) profile() ssd.Profile {
+	switch d {
+	case OptaneSSD:
+		return ssd.OptaneSSD
+	case OptaneDCPMM:
+		return ssd.OptaneDCPMM
+	default:
+		return ssd.ZSSD
+	}
+}
+
+// Duration is virtual time in picoseconds (re-exported from the simulator).
+type Duration = sim.Time
+
+// Config describes a machine. Zero values pick the evaluation defaults
+// (8 cores × 2 SMT at 2.8 GHz, 64 MiB memory, Z-SSD).
+type Config struct {
+	Scheme   Scheme
+	Device   Device
+	MemoryMB int
+	Cores    int
+	Seed     uint64
+	// Deterministic disables device service-time jitter (exact latencies).
+	Deterministic bool
+	// PrefetchDegree enables the SMU's sequential prefetcher (Section V
+	// future work): on a miss, the next N LBA-augmented pages are fetched
+	// speculatively.
+	PrefetchDegree int
+	// PerCoreFreeQueues gives the SMU one free page queue per logical
+	// core (Section V's per-thread memory-policy option).
+	PerCoreFreeQueues bool
+	// LogStructuredFS makes the file system remap blocks on write
+	// (CoW/LFS), exercising the LBA-patching control plane.
+	LogStructuredFS bool
+	// StallTimeoutUS bounds HWDP pipeline stalls: past it, a timeout
+	// exception context-switches the thread away (Section V, long-latency
+	// I/O). Zero disables.
+	StallTimeoutUS int
+}
+
+// System is one simulated machine plus its primary process.
+type System struct {
+	sys *core.System
+}
+
+// New builds and boots a machine.
+func New(cfg Config) *System {
+	c := core.DefaultConfig(cfg.Scheme.kernel())
+	if cfg.MemoryMB > 0 {
+		c.MemoryBytes = uint64(cfg.MemoryMB) << 20
+	} else {
+		c.MemoryBytes = 64 << 20
+	}
+	if cfg.Cores > 0 {
+		c.Cores = cfg.Cores
+	}
+	if cfg.Seed != 0 {
+		c.Seed = cfg.Seed
+	}
+	c.Device = cfg.Device.profile()
+	c.DeviceJitter = !cfg.Deterministic
+	c.PrefetchDegree = cfg.PrefetchDegree
+	c.PerCoreFreeQueues = cfg.PerCoreFreeQueues
+	c.LogStructuredFS = cfg.LogStructuredFS
+	c.Kernel.StallTimeout = sim.Time(cfg.StallTimeoutUS) * sim.Microsecond
+	return &System{sys: core.NewSystem(c)}
+}
+
+// Raw exposes the underlying machine for advanced use.
+func (s *System) Raw() *core.System { return s.sys }
+
+// Now returns the current virtual time.
+func (s *System) Now() Duration { return s.sys.Eng.Now() }
+
+// RunFor advances virtual time (background kernel threads keep working).
+func (s *System) RunFor(d Duration) { s.sys.RunFor(d) }
+
+// await steps the simulation until *done is true.
+func (s *System) await(done *bool) {
+	s.sys.RunWhile(func() bool { return !*done })
+	if !*done {
+		panic("hwdp: operation never completed (event queue drained)")
+	}
+}
+
+// ColdPageLatency maps a fresh file and measures one cold page miss
+// end-to-end under the configured scheme.
+func (s *System) ColdPageLatency() (Duration, error) {
+	name := fmt.Sprintf("probe-%d", s.sys.Eng.Fired())
+	va, _, err := s.sys.MapFile(name, 16, fs.SeededInit(1), s.sys.FastFlags())
+	if err != nil {
+		return 0, err
+	}
+	lat, _ := s.sys.MeasureSingleFault(s.sys.WorkloadThread(0), va)
+	return lat, nil
+}
+
+// FIOResult summarizes a FIO run.
+type FIOResult struct {
+	Ops          uint64
+	Throughput   float64  // ops per virtual second
+	MeanLatency  Duration // per 4 KiB read
+	P99Latency   Duration
+	HWMisses     uint64
+	OSFaults     uint64
+	KernelInstr  uint64 // on the workload threads
+	UserInstr    uint64
+	UserIPC      float64
+	StallTime    Duration
+	ContextSwaps uint64
+}
+
+// RunFIO runs the FIO random-read microbenchmark: `threads` threads, each
+// performing `opsPerThread` 4 KiB reads over a file `filePages` long.
+func (s *System) RunFIO(threads, opsPerThread, filePages int) (FIOResult, error) {
+	name := fmt.Sprintf("fio-%d", s.sys.Eng.Fired())
+	fio, err := workload.SetupFIO(s.sys, name, filePages, s.sys.FastFlags())
+	if err != nil {
+		return FIOResult{}, err
+	}
+	ths := make([]*kernel.Thread, threads)
+	for i := range ths {
+		ths[i] = s.sys.WorkloadThread(i)
+	}
+	rs := workload.Run(s.sys, ths, fio, workload.RunOptions{OpsPerThread: opsPerThread})
+	m := workload.Merge(rs)
+	var res FIOResult
+	res.Ops = m.Ops
+	res.Throughput = m.Throughput()
+	res.MeanLatency = m.MeanLatency()
+	res.P99Latency = Duration(m.Lat.Percentile(99))
+	mmuSt := s.sys.MMU.Stats()
+	res.HWMisses = mmuSt.HWMisses
+	res.OSFaults = mmuSt.OSFaults
+	for _, th := range ths {
+		res.KernelInstr += th.HW.KernelInstr
+		res.UserInstr += th.HW.UserInstr
+		res.StallTime += th.HW.StallTime
+		res.ContextSwaps += th.HW.ContextSwaps
+	}
+	if len(ths) > 0 {
+		res.UserIPC = ths[0].HW.Counters.UserIPC()
+	}
+	return res, nil
+}
+
+// Store is a synchronous view of the mini NoSQL record store.
+type Store struct {
+	s  *System
+	st *kvs.Store
+	th *kernel.Thread
+	wb []byte
+}
+
+// CreateStore builds a record store of `keys` 4 KiB records, mapped with
+// the scheme's mmap flags (fast mmap under HWDP/SW-only).
+func (s *System) CreateStore(name string, keys uint64) (*Store, error) {
+	st, err := kvs.Create(s.sys.K, s.sys.FS, s.sys.Proc, name, keys, 0, 0, s.sys.FastFlags())
+	if err != nil {
+		return nil, err
+	}
+	return &Store{s: s, st: st, th: s.sys.WorkloadThread(0), wb: make([]byte, kvs.RecordSize)}, nil
+}
+
+// Keys returns the number of records.
+func (st *Store) Keys() uint64 { return st.st.Keys() }
+
+// Get reads and validates one record, returning its payload bytes and
+// version.
+func (st *Store) Get(key uint64) (payload []byte, version uint64, err error) {
+	done := false
+	var gv uint64
+	var ge error
+	st.st.Get(st.th, key, st.wb, func(v uint64, e error) { gv, ge, done = v, e, true })
+	st.s.await(&done)
+	out := make([]byte, kvs.PayloadSize)
+	copy(out, st.wb[kvs.RecordSize-kvs.PayloadSize:])
+	return out, gv, ge
+}
+
+// Put writes one record at the given version.
+func (st *Store) Put(key, version uint64) error {
+	done := false
+	var pe error
+	st.st.Put(st.th, key, version, st.wb, func(e error) { pe, done = e, true })
+	st.s.await(&done)
+	return pe
+}
+
+// ReadModifyWrite bumps a record's version atomically from the client's
+// point of view.
+func (st *Store) ReadModifyWrite(key uint64) error {
+	done := false
+	var pe error
+	st.st.ReadModifyWrite(st.th, key, st.wb, func(e error) { pe, done = e, true })
+	st.s.await(&done)
+	return pe
+}
+
+// YCSBResult summarizes a YCSB run.
+type YCSBResult struct {
+	Ops         uint64
+	Throughput  float64
+	MeanLatency Duration
+	UserIPC     float64
+	Errors      uint64
+}
+
+// RunYCSB runs a YCSB core workload (variant 'A'..'F') over a fresh store
+// sized to `keys` records.
+func (s *System) RunYCSB(variant byte, threads, opsPerThread int, keys uint64) (YCSBResult, error) {
+	name := fmt.Sprintf("ycsb-%c-%d", variant, s.sys.Eng.Fired())
+	st, err := kvs.Create(s.sys.K, s.sys.FS, s.sys.Proc, name, keys, 0, 0, s.sys.FastFlags())
+	if err != nil {
+		return YCSBResult{}, err
+	}
+	w, err := workload.NewYCSB(s.sys, st, variant)
+	if err != nil {
+		return YCSBResult{}, err
+	}
+	ths := make([]*kernel.Thread, threads)
+	for i := range ths {
+		ths[i] = s.sys.WorkloadThread(i)
+	}
+	rs := workload.Run(s.sys, ths, w, workload.RunOptions{OpsPerThread: opsPerThread})
+	m := workload.Merge(rs)
+	return YCSBResult{
+		Ops:         m.Ops,
+		Throughput:  m.Throughput(),
+		MeanLatency: m.MeanLatency(),
+		UserIPC:     ths[0].HW.Counters.UserIPC(),
+		Errors:      m.Errors,
+	}, nil
+}
+
+// MmapAnon maps anonymous (heap-style) memory. First touches are handled
+// as zero-fills — under HWDP without any I/O, via the reserved first-touch
+// LBA constant — and dirty pages evicted under pressure swap out and back
+// in through the configured demand-paging scheme. It returns an opaque
+// handle usable with Touch/Read/Write-style access through Raw().
+func (s *System) MmapAnon(pages int) (AnonRegion, error) {
+	va, err := s.sys.K.MmapAnon(s.sys.Proc, 0, 0, pages,
+		anonProt(), s.sys.Cfg.Scheme != kernelOSDP())
+	if err != nil {
+		return AnonRegion{}, err
+	}
+	return AnonRegion{s: s, base: va, pages: pages,
+		th: s.sys.WorkloadThread(0)}, nil
+}
+
+// AnonRegion is a mapped anonymous memory region with synchronous access
+// helpers.
+type AnonRegion struct {
+	s     *System
+	base  pagetable.VAddr
+	pages int
+	th    *kernel.Thread
+}
+
+// Pages returns the region length in 4 KiB pages.
+func (a AnonRegion) Pages() int { return a.pages }
+
+// Write stores data at byte offset off.
+func (a AnonRegion) Write(off int, data []byte) error {
+	if off < 0 || off+len(data) > a.pages*4096 {
+		return fmt.Errorf("hwdp: write outside region")
+	}
+	done := false
+	a.s.sys.K.Store(a.th, a.base+pagetable.VAddr(off), data, func(mmu.Result) { done = true })
+	a.s.await(&done)
+	return nil
+}
+
+// Read loads len(buf) bytes at byte offset off.
+func (a AnonRegion) Read(off int, buf []byte) error {
+	if off < 0 || off+len(buf) > a.pages*4096 {
+		return fmt.Errorf("hwdp: read outside region")
+	}
+	done := false
+	a.s.sys.K.Load(a.th, a.base+pagetable.VAddr(off), buf, func(mmu.Result) { done = true })
+	a.s.await(&done)
+	return nil
+}
+
+// Stats is a machine-wide counter snapshot.
+type Stats struct {
+	HWMisses       uint64
+	OSFaults       uint64
+	MajorFaults    uint64
+	MinorFaults    uint64
+	HWBounceFaults uint64
+	Evictions      uint64
+	Writebacks     uint64
+	KptedSyncs     uint64
+	KpooldFrames   uint64
+	DeviceReads    uint64
+	DeviceWrites   uint64
+	PMSHRCoalesced uint64
+	AnonZeroFills  uint64
+	Prefetches     uint64
+	StallTimeouts  uint64
+}
+
+// Stats snapshots the machine counters.
+func (s *System) Stats() Stats {
+	ks := s.sys.K.Stats()
+	ms := s.sys.MMU.Stats()
+	ds := s.sys.Dev.Stats()
+	ss := s.sys.SMU.Stats()
+	return Stats{
+		HWMisses:       ms.HWMisses,
+		OSFaults:       ms.OSFaults,
+		MajorFaults:    ks.MajorFaults,
+		MinorFaults:    ks.MinorFaults,
+		HWBounceFaults: ks.HWBounceFaults,
+		Evictions:      ks.Evictions,
+		Writebacks:     ks.Writebacks,
+		KptedSyncs:     ks.KptedSyncs,
+		KpooldFrames:   ks.KpooldFrames,
+		DeviceReads:    ds.Reads,
+		DeviceWrites:   ds.Writes,
+		PMSHRCoalesced: ss.Coalesced,
+		AnonZeroFills:  ss.AnonZeroFill,
+		Prefetches:     ms.Prefetches,
+		StallTimeouts:  ks.StallTimeouts,
+	}
+}
+
+// CheckInvariants validates the machine's structural invariants (frame
+// accounting, no page aliasing, Table I discipline, PMSHR bounds) and
+// returns human-readable violations — empty on a healthy machine.
+func (s *System) CheckInvariants() []string {
+	var out []string
+	for _, v := range check.System(s.sys) {
+		out = append(out, v.String())
+	}
+	return out
+}
+
+func anonProt() pagetable.Prot { return pagetable.Prot{Write: true, User: true} }
+
+func kernelOSDP() kernel.Scheme { return kernel.OSDP }

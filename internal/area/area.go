@@ -1,0 +1,129 @@
+// Package area estimates the silicon cost of the SMU the way the paper
+// does with McPAT's SRAM and register models (Section VI-D): per-bit area
+// coefficients for CAM and register cells at 22 nm, summed over the SMU's
+// structures, and compared against the Xeon E5-2640 v3 die (354 mm²).
+package area
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CellKind distinguishes the storage cell types McPAT models.
+type CellKind int
+
+// Cell kinds.
+const (
+	CAM CellKind = iota // fully associative match cells (PMSHR)
+	Register
+)
+
+func (k CellKind) String() string {
+	if k == CAM {
+		return "CAM"
+	}
+	return "register"
+}
+
+// Per-bit cell areas at the 22 nm node, in mm², fitted to McPAT's output
+// for the structures at hand (a CAM bit carries match logic and is ~4×
+// the area of a plain flop).
+const (
+	CAMBitArea22nm = 1.2775e-6
+	RegBitArea22nm = 3.15e-7
+	// MiscFraction is control/glue logic as a fraction of the structure
+	// total (the paper's "other miscellaneous registers ... 2.0%").
+	MiscFraction = 0.020
+	// XeonE52640v3Die is the reference die size in mm² at 22 nm.
+	XeonE52640v3Die = 354.0
+	// ReferenceNode is the technology node of the coefficients.
+	ReferenceNode = 22.0
+)
+
+// Component is one hardware structure.
+type Component struct {
+	Name    string
+	Entries int
+	Bits    int // per entry
+	Kind    CellKind
+}
+
+// TotalBits returns the component's storage bits.
+func (c Component) TotalBits() int { return c.Entries * c.Bits }
+
+// Area returns the component's area in mm² at the given node (nm),
+// scaling quadratically from the 22 nm coefficients.
+func (c Component) Area(nodeNM float64) float64 {
+	per := RegBitArea22nm
+	if c.Kind == CAM {
+		per = CAMBitArea22nm
+	}
+	scale := (nodeNM / ReferenceNode) * (nodeNM / ReferenceNode)
+	return float64(c.TotalBits()) * per * scale
+}
+
+// PMSHREntryBits is the PMSHR entry width: three 64-bit entry addresses, a
+// 64-bit PFN, a 41-bit LBA and a 3-bit device ID = 300 bits.
+const PMSHREntryBits = 3*64 + 64 + 41 + 3
+
+// NVMeDescriptorBits is one set of NVMe queue descriptor registers
+// (Fig. 9): SQ/CQ base addresses, doorbell addresses, head/tail indices,
+// queue size, phase and namespace ID.
+const NVMeDescriptorBits = 352
+
+// PrefetchEntryBits is one <PFN, DMA address> prefetch-buffer record.
+const PrefetchEntryBits = 52 + 52
+
+// SMUComponents returns the prototype SMU's structures: a 32-entry PMSHR,
+// eight NVMe descriptor register sets, and a 16-entry free-page prefetch
+// buffer.
+func SMUComponents() []Component {
+	return []Component{
+		{Name: "PMSHR", Entries: 32, Bits: PMSHREntryBits, Kind: CAM},
+		{Name: "NVMe queue descriptors", Entries: 8, Bits: NVMeDescriptorBits, Kind: Register},
+		{Name: "free-page prefetch buffer", Entries: 16, Bits: PrefetchEntryBits, Kind: Register},
+	}
+}
+
+// Report is a full area budget.
+type Report struct {
+	NodeNM      float64
+	Components  []Component
+	Areas       []float64 // mm², parallel to Components
+	MiscArea    float64
+	Total       float64
+	DieArea     float64
+	DieFraction float64
+}
+
+// SMUReport computes the budget at the given node against the reference
+// die.
+func SMUReport(nodeNM float64) Report {
+	comps := SMUComponents()
+	r := Report{NodeNM: nodeNM, Components: comps, DieArea: XeonE52640v3Die}
+	sum := 0.0
+	for _, c := range comps {
+		a := c.Area(nodeNM)
+		r.Areas = append(r.Areas, a)
+		sum += a
+	}
+	r.MiscArea = sum * MiscFraction / (1 - MiscFraction)
+	r.Total = sum + r.MiscArea
+	r.DieFraction = r.Total / r.DieArea
+	return r
+}
+
+// String renders the budget like the paper's Section VI-D.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SMU area at %.0f nm (die %.0f mm²)\n", r.NodeNM, r.DieArea)
+	for i, c := range r.Components {
+		fmt.Fprintf(&b, "  %-28s %2d × %3d bits (%-8s) %.6f mm² (%4.1f%%)\n",
+			c.Name, c.Entries, c.Bits, c.Kind, r.Areas[i], 100*r.Areas[i]/r.Total)
+	}
+	fmt.Fprintf(&b, "  %-28s %22s %.6f mm² (%4.1f%%)\n", "misc control", "",
+		r.MiscArea, 100*r.MiscArea/r.Total)
+	fmt.Fprintf(&b, "  TOTAL %.4f mm² = %.3f%% of the processor die\n",
+		r.Total, 100*r.DieFraction)
+	return b.String()
+}

@@ -1,0 +1,72 @@
+package area
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPMSHREntryWidth(t *testing.T) {
+	if PMSHREntryBits != 300 {
+		t.Fatalf("PMSHR entry = %d bits, paper says 300", PMSHREntryBits)
+	}
+}
+
+func TestSMUReportMatchesPaper(t *testing.T) {
+	r := SMUReport(22)
+	// Section VI-D: total 0.014 mm², 0.004% of the 354 mm² die.
+	if r.Total < 0.012 || r.Total > 0.016 {
+		t.Fatalf("total = %f mm²", r.Total)
+	}
+	if r.DieFraction < 0.00003 || r.DieFraction > 0.00005 {
+		t.Fatalf("die fraction = %f%%", 100*r.DieFraction)
+	}
+	// Shares: PMSHR 87.6%, NVMe regs 6.7%, prefetch 3.7%, misc 2.0%.
+	shares := []struct {
+		idx  int
+		want float64
+	}{{0, 0.876}, {1, 0.067}, {2, 0.037}}
+	for _, s := range shares {
+		got := r.Areas[s.idx] / r.Total
+		if math.Abs(got-s.want) > 0.02 {
+			t.Errorf("%s share = %.3f, want %.3f",
+				r.Components[s.idx].Name, got, s.want)
+		}
+	}
+	if misc := r.MiscArea / r.Total; math.Abs(misc-0.020) > 0.005 {
+		t.Errorf("misc share = %.3f", misc)
+	}
+}
+
+func TestNodeScaling(t *testing.T) {
+	a22 := SMUReport(22).Total
+	a11 := SMUReport(11).Total
+	if math.Abs(a11*4-a22) > 1e-9 {
+		t.Fatalf("quadratic scaling broken: 22nm=%f 11nm=%f", a22, a11)
+	}
+}
+
+func TestComponentBits(t *testing.T) {
+	comps := SMUComponents()
+	if comps[0].TotalBits() != 32*300 {
+		t.Fatalf("PMSHR bits = %d", comps[0].TotalBits())
+	}
+	if comps[1].TotalBits() != 8*352 {
+		t.Fatalf("NVMe bits = %d", comps[1].TotalBits())
+	}
+}
+
+func TestCellKindString(t *testing.T) {
+	if CAM.String() != "CAM" || Register.String() != "register" {
+		t.Fatal("kind strings")
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	s := SMUReport(22).String()
+	for _, want := range []string{"PMSHR", "NVMe", "prefetch", "misc", "TOTAL", "0.004"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package core assembles the full machine: engine, CPU, memory, MMU, SMU,
+// NVMe SSD, file system and kernel, wired per the paper's system diagram
+// (Fig. 5). It is the layer the public hwdp API and the benchmark harness
+// sit on.
+package core
+
+import (
+	"fmt"
+
+	"hwdp/internal/cpu"
+	"hwdp/internal/fs"
+	"hwdp/internal/kernel"
+	"hwdp/internal/mem"
+	"hwdp/internal/mmu"
+	"hwdp/internal/nvme"
+	"hwdp/internal/pagetable"
+	"hwdp/internal/sim"
+	"hwdp/internal/smu"
+	"hwdp/internal/ssd"
+)
+
+// Config describes one machine.
+type Config struct {
+	Scheme kernel.Scheme
+	// Cores is the number of physical cores (2 SMT hardware threads each).
+	// The evaluation machine has 8 (Table II).
+	Cores int
+	// MemoryBytes is the DRAM size. The paper's 32 GiB is scaled down by
+	// default (all results are ratio-driven; see DESIGN.md).
+	MemoryBytes uint64
+	// Device is the SSD latency profile (Z-SSD by default).
+	Device ssd.Profile
+	// FreeQueueDepth is the SMU free page queue depth (paper: 4096).
+	FreeQueueDepth int
+	// PMSHREntries overrides the PMSHR size (0 = the prototype's 32); the
+	// design-space ablation sweeps it.
+	PMSHREntries int
+	// PerCoreFreeQueues gives the SMU one free page queue per logical core
+	// (Section V's option for per-thread memory-management policy).
+	PerCoreFreeQueues bool
+	// PrefetchDegree enables the future-work sequential prefetcher: on a
+	// hardware miss the next N LBA-augmented pages are fetched
+	// speculatively.
+	PrefetchDegree int
+	// LogStructuredFS makes every file system remap blocks on write
+	// (CoW/LFS behavior): each writeback moves the block and patches
+	// LBA-augmented PTEs of marked files.
+	LogStructuredFS bool
+	// Sockets builds a multi-socket machine: each socket gets its own SMU
+	// (the PTE's 3-bit SID field selects the home SMU, up to 8 sockets)
+	// with its own NVMe device and file system. Zero means one socket.
+	Sockets int
+	// Seed drives all randomness.
+	Seed uint64
+	// CPUParams tunes the core model.
+	CPUParams cpu.Params
+	// Kernel carries kernel tunables; Scheme and Costs are filled in by
+	// NewSystem.
+	Kernel kernel.Config
+	// FSBlocks is the file-system capacity in 4 KiB blocks.
+	FSBlocks uint64
+	// DeviceJitter enables service-time jitter (off for latency-exact
+	// microbenchmarks, on for throughput runs).
+	DeviceJitter bool
+}
+
+// DefaultConfig mirrors the evaluation setup (Table II) at simulation
+// scale: 8 physical cores at 2.8 GHz, Z-SSD, 256 MiB of memory.
+func DefaultConfig(scheme kernel.Scheme) Config {
+	return Config{
+		Scheme:         scheme,
+		Cores:          8,
+		MemoryBytes:    256 << 20,
+		Device:         ssd.ZSSD,
+		FreeQueueDepth: 4096,
+		Seed:           1,
+		CPUParams:      cpu.DefaultParams(),
+		Kernel:         kernel.DefaultConfig(scheme),
+		FSBlocks:       1 << 22, // 16 GiB of storage
+		DeviceJitter:   true,
+	}
+}
+
+// Build assembles a machine from the config (sugar for NewSystem).
+func (c Config) Build() *System { return NewSystem(c) }
+
+// Dur converts raw picoseconds (e.g. histogram percentiles) to sim.Time.
+func Dur(ps int64) sim.Time { return sim.Time(ps) }
+
+// System is one assembled machine. SMU, Dev and FS are socket 0's
+// components; multi-socket machines expose the rest via SMUs/Devs/FSs.
+type System struct {
+	Cfg  Config
+	Eng  *sim.Engine
+	CPU  *cpu.CPU
+	Mem  *mem.Memory
+	MMU  *mmu.MMU
+	SMU  *smu.SMU
+	Dev  *ssd.Device
+	FS   *fs.FS
+	SMUs []*smu.SMU
+	Devs []*ssd.Device
+	FSs  []*fs.FS
+	K    *kernel.Kernel
+	Proc *kernel.Process
+	Rng  *sim.Rand
+}
+
+// NewSystem builds and starts a machine.
+func NewSystem(cfg Config) *System {
+	if cfg.Cores < 2 {
+		panic("core: need at least 2 physical cores (background threads)")
+	}
+	sockets := cfg.Sockets
+	if sockets == 0 {
+		sockets = 1
+	}
+	if sockets > 8 {
+		panic("core: the PTE's SID field addresses at most 8 sockets")
+	}
+	eng := sim.NewEngine()
+	rng := sim.NewRand(cfg.Seed)
+	c := cpu.New(eng, cfg.Cores, cfg.CPUParams)
+	memory := mem.New(cfg.MemoryBytes)
+	prof := cfg.Device
+	if !cfg.DeviceJitter {
+		prof.JitterFrac = 0
+	}
+
+	mm := mmu.New(eng)
+	mm.PrefetchDegree = cfg.PrefetchDegree
+	// Keep the free page queue a small fraction of memory (the paper's
+	// 4096-entry queue is 0.05% of 32 GiB); at simulation scale, clamp so
+	// scaled-down machines keep the same character.
+	qDepth := cfg.FreeQueueDepth
+	if max := int(memory.Frames() / 16); qDepth > max {
+		qDepth = max
+	}
+	if qDepth < 8 {
+		qDepth = 8
+	}
+	pmshr := cfg.PMSHREntries
+	if pmshr == 0 {
+		pmshr = smu.PMSHREntries
+	}
+	queues := 1
+	if cfg.PerCoreFreeQueues {
+		queues = cfg.Cores * 2
+	}
+
+	kcfg := cfg.Kernel
+	kcfg.Scheme = cfg.Scheme
+	// Background kernel threads ride the SMT siblings of the last cores,
+	// leaving hardware threads 2i free for workload pinning.
+	n := cfg.Cores * 2
+	k := kernel.New(eng, c, memory, mm, kcfg,
+		c.Thread(n-1), c.Thread(n-3), c.Thread(n-5))
+
+	sys := &System{
+		Cfg: cfg, Eng: eng, CPU: c, Mem: memory, MMU: mm, K: k, Rng: rng,
+	}
+	for sid := 0; sid < sockets; sid++ {
+		fsys := fs.New(uint8(sid), 0, uint32(sid+1), cfg.FSBlocks)
+		fsys.RemapOnWrite = cfg.LogStructuredFS
+		dev := ssd.New(eng, prof, rng.Fork(0xD0+uint64(sid)), func(cmd nvme.Command) {
+			frame := mem.FrameID(cmd.PRP1 / mem.PageSize)
+			switch cmd.Opcode {
+			case nvme.OpRead:
+				if err := memory.Fill(frame, func(buf []byte) {
+					_ = fsys.ReadBlock(cmd.SLBA, buf)
+				}); err != nil {
+					panic(fmt.Sprintf("core: read DMA into bad frame: %v", err))
+				}
+			case nvme.OpWrite:
+				data, err := memory.Data(frame)
+				if err != nil {
+					panic(fmt.Sprintf("core: write DMA from bad frame: %v", err))
+				}
+				_ = fsys.WriteBlock(cmd.SLBA, data)
+			}
+		})
+		dev.AddNamespace(nvme.Namespace{ID: uint32(sid + 1), Blocks: cfg.FSBlocks})
+		s := smu.NewPerCore(eng, uint8(sid), qDepth, pmshr, queues)
+		// The isolated SMU queue pair, sized so the PMSHR can never
+		// overflow it.
+		sqp := nvme.NewQueuePair(1, 2*pmshr+2)
+		s.AttachDevice(0, dev, sqp, uint32(sid+1))
+		mm.AttachSMU(s)
+		k.AttachStorage(uint8(sid), 0, dev, fsys)
+		k.AttachSMU(s)
+		sys.SMUs = append(sys.SMUs, s)
+		sys.Devs = append(sys.Devs, dev)
+		sys.FSs = append(sys.FSs, fsys)
+	}
+	sys.SMU, sys.Dev, sys.FS = sys.SMUs[0], sys.Devs[0], sys.FSs[0]
+	k.Start()
+	sys.Proc = k.NewProcess()
+	return sys
+}
+
+// MapFileOn creates and maps a file on the given socket's file system.
+func (s *System) MapFileOn(socket int, name string, pages int, init fs.Initializer,
+	flags kernel.MmapFlags) (pagetable.VAddr, *fs.File, error) {
+	f, err := s.FSs[socket].Create(name, pages, init)
+	if err != nil {
+		return 0, nil, err
+	}
+	va, err := s.K.Mmap(s.Proc, uint8(socket), 0, f,
+		pagetable.Prot{Write: true, User: true}, flags)
+	return va, f, err
+}
+
+// WorkloadThread returns a thread pinned to hardware thread 2*i — one per
+// physical core, matching the evaluation's pinning. i must leave the
+// background threads' cores free when many threads are used.
+func (s *System) WorkloadThread(i int) *kernel.Thread {
+	return s.K.NewThread(s.Proc, 2*i)
+}
+
+// SMTPair returns the two threads of physical core i (the Fig. 16
+// co-scheduling experiment pins an I/O-bound and a CPU-bound thread onto
+// one core).
+func (s *System) SMTPair(i int) (*kernel.Thread, *kernel.Thread) {
+	return s.K.NewThread(s.Proc, 2*i), s.K.NewThread(s.Proc, 2*i+1)
+}
+
+// MapFile creates a file of the given size and maps it.
+func (s *System) MapFile(name string, pages int, init fs.Initializer,
+	flags kernel.MmapFlags) (pagetable.VAddr, *fs.File, error) {
+	f, err := s.FS.Create(name, pages, init)
+	if err != nil {
+		return 0, nil, err
+	}
+	va, err := s.K.Mmap(s.Proc, 0, 0, f, pagetable.Prot{Write: true, User: true}, flags)
+	return va, f, err
+}
+
+// FastFlags returns the mmap flags for the configured scheme: fast mmap
+// under HWDP/SWDP, conventional under OSDP.
+func (s *System) FastFlags() kernel.MmapFlags {
+	return kernel.MmapFlags{Fast: s.Cfg.Scheme != kernel.OSDP}
+}
+
+// Run drives the simulation until the queue drains (rarely wanted: the
+// kernel's periodic threads keep it non-empty) — prefer RunFor/RunWhile.
+func (s *System) Run() { s.Eng.Run() }
+
+// RunFor advances virtual time by d.
+func (s *System) RunFor(d sim.Time) { s.Eng.RunUntil(s.Eng.Now() + d) }
+
+// RunWhile steps the engine until cond returns false or the queue drains.
+func (s *System) RunWhile(cond func() bool) {
+	for cond() && s.Eng.Step() {
+	}
+}
+
+// FaultTrace is a single-miss phase trace (Fig. 11(b)).
+type FaultTrace struct {
+	Phases []TracePhase
+	Total  sim.Time
+}
+
+// TracePhase is one labeled span.
+type TracePhase struct {
+	Name string
+	Dur  sim.Time
+}
+
+// MeasureSingleFault touches one cold page and returns the end-to-end miss
+// latency plus, for HWDP, the SMU's phase trace.
+func (s *System) MeasureSingleFault(th *kernel.Thread, va pagetable.VAddr) (sim.Time, *FaultTrace) {
+	tr := &FaultTrace{}
+	s.SMU.Tracer = func(phase string, d sim.Time) {
+		tr.Phases = append(tr.Phases, TracePhase{phase, d})
+	}
+	defer func() { s.SMU.Tracer = nil }()
+	start := s.Eng.Now()
+	var end sim.Time = -1
+	s.K.Access(th, va, false, func(mmu.Result) { end = s.Eng.Now() })
+	s.RunWhile(func() bool { return end < 0 })
+	if end < 0 {
+		panic("core: single fault never completed")
+	}
+	tr.Total = end - start
+	return tr.Total, tr
+}

@@ -1,0 +1,84 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"hwdp/internal/area"
+	"hwdp/internal/kernel"
+	"hwdp/internal/pagetable"
+	"hwdp/internal/smu"
+	"hwdp/internal/ssd"
+)
+
+// TableI renders the PTE/PMD/PUD semantics (Table I), generated from the
+// implementation itself so the table can never drift from the code.
+func TableI() string {
+	var b strings.Builder
+	b.WriteString("Table I: PTE status by (LBA bit, present bit)\n")
+	b.WriteString("  LBA  P  PFN field          meaning\n")
+	rows := []struct {
+		lba, p  bool
+		payload string
+	}{
+		{false, false, "0s / swap payload"},
+		{true, false, "SID+devID+LBA"},
+		{true, true, "PFN"},
+		{false, true, "PFN"},
+	}
+	for _, row := range rows {
+		var e pagetable.Entry
+		if row.lba {
+			e |= pagetable.FlagLBA
+		}
+		if row.p {
+			e |= pagetable.FlagPresent
+		}
+		fmt.Fprintf(&b, "  %3v  %v  %-18s %s\n", b01(row.lba), b01(row.p),
+			row.payload, describeState(e.State()))
+	}
+	b.WriteString("  PMD/PUD: LBA=0 → no PTE below needs OS-metadata sync; LBA=1 → one or\n")
+	b.WriteString("  more hardware-handled PTEs below await kpted.\n")
+	return b.String()
+}
+
+func b01(v bool) string {
+	if v {
+		return "1"
+	}
+	return "0"
+}
+
+func describeState(s pagetable.State) string {
+	switch s {
+	case pagetable.StateNotPresentOS:
+		return "non-resident, miss handled by OS"
+	case pagetable.StateNotPresentLBA:
+		return "non-resident, LBA-augmented, miss handled by hardware"
+	case pagetable.StateResidentUnsynced:
+		return "resident, hardware-handled, OS metadata not yet updated"
+	case pagetable.StateResident:
+		return "resident, identical to conventional PTE"
+	}
+	return "?"
+}
+
+// TableII renders the experimental configuration of the simulated machine
+// against the paper's testbed.
+func TableII(p Params) string {
+	cfg := kernel.DefaultConfig(kernel.HWDP)
+	var b strings.Builder
+	b.WriteString("Table II: experimental configuration (paper testbed → simulation)\n")
+	fmt.Fprintf(&b, "  CPU       Intel Xeon E5-2640v3 2.8GHz, 8 cores (HT) → 8 simulated cores x 2 SMT @ 2.8GHz\n")
+	fmt.Fprintf(&b, "  Memory    DDR4 32GB → %d MiB simulated (ratios preserved; see DESIGN.md)\n", p.MemoryMB)
+	fmt.Fprintf(&b, "  Storage   Samsung SZ985 Z-SSD → %s profile (%v 4KB read)\n",
+		ssd.ZSSD.Name, ssd.ZSSD.Read4K)
+	fmt.Fprintf(&b, "  OS        Linux 4.9.30 → kernel model (OSDP/SW-only/HWDP schemes)\n")
+	fmt.Fprintf(&b, "  SMU       %d-entry PMSHR, free page queue depth 4096 (clamped to mem/16),\n",
+		smu.PMSHREntries)
+	fmt.Fprintf(&b, "            kpoold period %v, kpted period scaled with memory\n", cfg.KpooldPeriod)
+	return b.String()
+}
+
+// AreaTable renders the Section VI-D area budget.
+func AreaTable() string { return area.SMUReport(22).String() }

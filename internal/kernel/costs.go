@@ -1,0 +1,112 @@
+package kernel
+
+import "hwdp/internal/sim"
+
+// Costs is the kernel latency model. The OSDP components are calibrated so
+// that for the Z-SSD (10.9 µs device time) the aggregate fault-handling
+// overhead matches Figure 3 (≈76–80 % of device time) and the before/after
+// device-I/O reductions of Fig. 11(a) come out at the paper's 2.38 µs and
+// 6.16 µs. The SW-only components reproduce Fig. 17's ≈1.9 µs software
+// overhead over raw device time.
+type Costs struct {
+	// --- OSDP page-fault path, before device I/O ---
+	Exception    sim.Time // trap entry, mode switch
+	WalkInFault  sim.Time // page-table walk charged to the fault
+	HandlerEntry sim.Time // VMA lookup, fault triage
+	PageAlloc    sim.Time // buddy allocation of one frame
+	IOSubmit     sim.Time // block layer + NVMe driver submission
+
+	// --- overlapped with device I/O ---
+	CtxSwitchOut sim.Time // schedule away while the device works
+
+	// --- after device I/O ---
+	InterruptDelivery sim.Time // IRQ delivery to the submitting core
+	IOCompletion      sim.Time // block-layer completion, softirq
+	WakeSchedule      sim.Time // wake the blocked thread, schedule in
+	MetadataUpdate    sim.Time // LRU insert, rmap, page-cache insert
+	PTEInstallReturn  sim.Time // PTE write, return from exception
+
+	// --- minor faults (page already in the page cache) ---
+	MinorFault sim.Time
+
+	// --- SW-only scheme (software-emulated SMU, Fig. 17) ---
+	SWCheck    sim.Time // early LBA-bit check in the fault handler
+	SWPMSHR    sim.Time // PMSHR emulated as a memory table
+	SWSubmit   sim.Time // build + issue NVMe command from the kernel
+	SWComplete sim.Time // CQ handling, PTE update, PMSHR release
+
+	// --- background kernel threads ---
+	KptedPerPTE     sim.Time // scan cost per leaf PTE visited
+	KptedPerSync    sim.Time // batched OS-metadata update per page
+	KpooldPerPage   sim.Time // batched free-page allocation per page
+	EvictPerPage    sim.Time // reclaim bookkeeping per evicted page
+	WritebackSubmit sim.Time // dirty page writeback submission
+
+	// --- misc ---
+	MmapPerPTE     sim.Time // LBA augmentation per PTE during fast mmap
+	SyscallEntry   sim.Time
+	DirectReclaim  sim.Time // direct-reclaim entry penalty on alloc stall
+	TLBShootdown   sim.Time // per-page remote TLB invalidation
+	RefillPerFrame sim.Time // free-page-queue refill per frame (fault path)
+}
+
+// DefaultCosts returns the calibrated model.
+func DefaultCosts() Costs {
+	return Costs{
+		Exception:    sim.Micro(0.15),
+		WalkInFault:  sim.Micro(0.18),
+		HandlerEntry: sim.Micro(0.40),
+		PageAlloc:    sim.Micro(0.55),
+		IOSubmit:     sim.Micro(1.21),
+
+		CtxSwitchOut: sim.Micro(1.10),
+
+		InterruptDelivery: sim.Micro(0.27),
+		IOCompletion:      sim.Micro(2.30),
+		WakeSchedule:      sim.Micro(1.23),
+		MetadataUpdate:    sim.Micro(1.80),
+		PTEInstallReturn:  sim.Micro(0.60),
+
+		MinorFault: sim.Micro(1.10),
+
+		SWCheck:    sim.Micro(0.10),
+		SWPMSHR:    sim.Micro(0.25),
+		SWSubmit:   sim.Micro(0.50),
+		SWComplete: sim.Micro(0.70),
+
+		KptedPerPTE:     sim.Nano(18),
+		KptedPerSync:    sim.Micro(0.35),
+		KpooldPerPage:   sim.Micro(0.12),
+		EvictPerPage:    sim.Micro(0.60),
+		WritebackSubmit: sim.Micro(0.80),
+
+		MmapPerPTE:     sim.Nano(55),
+		SyscallEntry:   sim.Micro(0.20),
+		DirectReclaim:  sim.Micro(3.0),
+		TLBShootdown:   sim.Micro(0.25),
+		RefillPerFrame: sim.Micro(0.10),
+	}
+}
+
+// OSDPBeforeDevice is the fault latency before the device starts working.
+func (c Costs) OSDPBeforeDevice() sim.Time {
+	return c.Exception + c.WalkInFault + c.HandlerEntry + c.PageAlloc + c.IOSubmit
+}
+
+// OSDPAfterDevice is the fault latency after the device finishes.
+func (c Costs) OSDPAfterDevice() sim.Time {
+	return c.InterruptDelivery + c.IOCompletion + c.WakeSchedule +
+		c.MetadataUpdate + c.PTEInstallReturn
+}
+
+// OSDPOverhead is the total fault-latency overhead excluding device time
+// (the quantity Fig. 3 expresses as a percentage of device time).
+func (c Costs) OSDPOverhead() sim.Time {
+	return c.OSDPBeforeDevice() + c.OSDPAfterDevice()
+}
+
+// SWOverhead is the software-emulated-SMU overhead over raw device time.
+func (c Costs) SWOverhead() sim.Time {
+	return c.Exception + c.SWCheck + c.SWPMSHR + c.SWSubmit +
+		c.InterruptDelivery + c.SWComplete
+}

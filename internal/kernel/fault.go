@@ -1,0 +1,304 @@
+package kernel
+
+import (
+	"fmt"
+
+	"hwdp/internal/cpu"
+	"hwdp/internal/mem"
+	"hwdp/internal/mmu"
+	"hwdp/internal/nvme"
+	"hwdp/internal/pagetable"
+	"hwdp/internal/sim"
+	"hwdp/internal/smu"
+)
+
+// handleFault is the MMU's exception entry point. ctx is the faulting
+// Thread (set by Access). hwFailed marks an HWDP miss bounced for an empty
+// free page queue.
+func (k *Kernel) handleFault(ctx any, as *mmu.AddressSpace, va pagetable.VAddr,
+	write, hwFailed bool, done func()) {
+	th, ok := ctx.(*Thread)
+	if !ok || th == nil {
+		panic("kernel: fault without thread context")
+	}
+	// The pipeline is no longer stalled: the CPU vectors into the kernel.
+	th.endStall()
+
+	p := k.byASID[as.ASID]
+	vma := p.findVMA(va)
+	if vma == nil {
+		// Segfault: the MMU will report BadAddr on the retried walk.
+		done()
+		return
+	}
+	idx := vma.pageIndex(va)
+
+	// Classify using the PTE (the handler reads it anyway for triage).
+	var state pagetable.State = pagetable.StateNotPresentOS
+	if e, found := as.Table.Lookup(va); found {
+		state = e.State()
+	}
+	if state == pagetable.StateResident || state == pagetable.StateResidentUnsynced {
+		// Raced with a concurrent fault that already mapped the page.
+		done()
+		return
+	}
+
+	if k.cfg.Scheme == SWDP && state == pagetable.StateNotPresentLBA && !hwFailed {
+		k.swFault(th, as, va, vma, idx, done)
+		return
+	}
+	k.osFaultPath(th, as, va, vma, idx, hwFailed, done)
+}
+
+// osFaultPath is the conventional OSDP page-fault handler: exception entry,
+// VMA triage, page-cache lookup (minor) or full storage I/O with a context
+// switch (major), then OS metadata and PTE updates — Figure 3's timeline.
+func (k *Kernel) osFaultPath(th *Thread, as *mmu.AddressSpace, va pagetable.VAddr,
+	vma *VMA, idx int, hwFailed bool, done func()) {
+	c := k.cfg.Costs
+	hw := th.HW
+	key := pcKey{vma.File, idx}
+	k.kexec(hw, c.Exception+c.WalkInFault+c.HandlerEntry, func() {
+		// Minor fault: the page is already resident in the page cache
+		// (pages under writeback are still valid and mappable).
+		if pg := k.lookupPage(vma.File, idx); pg != nil {
+			k.stats.MinorFaults++
+			k.kexec(hw, c.MinorFault, func() {
+				k.mapPTE(as, va, vma, pg)
+				done()
+			})
+			return
+		}
+		// Anonymous first touch (no swapped-out content): zero-fill a
+		// fresh frame without any I/O — the minor-fault path of real
+		// kernels, and the fallback for bounced hardware zero-fills.
+		if vma.Anon && !vma.swapped[idx] {
+			k.stats.MinorFaults++
+			k.allocFrame(hw, func(frame mem.FrameID) {
+				k.kexec(hw, c.PageAlloc+c.PTEInstallReturn, func() {
+					pg := k.insertPage(vma.st, vma.File, idx, frame,
+						mapping{as: as, va: va.PageBase(), vma: vma})
+					k.finishMap(as, va, vma, pg)
+					if !hwFailed {
+						done()
+						return
+					}
+					// No device time to hide behind here: refill the free
+					// page queue synchronously before returning to user.
+					k.stats.FaultRefills++
+					var total int
+					for _, s := range k.smus {
+						total += k.refillSMU(s)
+					}
+					k.kexec(hw, c.RefillPerFrame*sim.Time(total), done)
+				})
+			})
+			return
+		}
+		// Another thread is already reading this page in (the page-lock
+		// serialization of real kernels): block until it finishes, then
+		// take the minor-fault path.
+		if waiters, inflight := k.faultInflight[key]; inflight {
+			k.faultInflight[key] = append(waiters, func() {
+				k.kexec(hw, c.MinorFault, func() {
+					if pg := k.lookupPage(vma.File, idx); pg != nil {
+						k.mapPTE(as, va, vma, pg)
+					}
+					done()
+				})
+			})
+			return
+		}
+		k.faultInflight[key] = []func(){}
+		k.stats.MajorFaults++
+		if hwFailed {
+			k.stats.HWBounceFaults++
+		}
+		k.allocFrame(hw, func(frame mem.FrameID) {
+			k.kexec(hw, c.PageAlloc+c.IOSubmit, func() {
+				blk, err := vma.st.fsys.Block(vma.File, idx)
+				if err != nil {
+					panic(err)
+				}
+				ioDone := false
+				var onIO func(bool)
+				k.submitIO(vma.st, hw, nvme.OpRead, blk.LBA, frame, func(ok bool) {
+					if !ok {
+						panic(fmt.Sprintf("kernel: fault read failed at %v", blk))
+					}
+					ioDone = true
+					if onIO != nil {
+						onIO(ok)
+					}
+				})
+				// The thread blocks: schedule away while the device works.
+				hw.AccountContextSwitch()
+				k.kexec(hw, c.CtxSwitchOut, func() {
+					if hwFailed {
+						// Refill the free page queue, overlapped with the
+						// in-flight device I/O (AIOS-style, Section IV-D).
+						k.stats.FaultRefills++
+						k.refillOnFault(hw)
+					}
+				})
+				completion := func(bool) {
+					// Interrupt → block-layer completion → wake + schedule
+					// in → metadata + PTE install → return to user.
+					hw.AccountContextSwitch()
+					k.kexec(hw, c.InterruptDelivery+c.IOCompletion+c.WakeSchedule, func() {
+						k.kexec(hw, c.MetadataUpdate+c.PTEInstallReturn, func() {
+							pg := k.insertPage(vma.st, vma.File, idx, frame,
+								mapping{as: as, va: va.PageBase(), vma: vma})
+							k.finishMap(as, va, vma, pg)
+							waiters := k.faultInflight[key]
+							delete(k.faultInflight, key)
+							done()
+							for _, w := range waiters {
+								w()
+							}
+						})
+					})
+				}
+				if ioDone {
+					completion(true)
+				} else {
+					onIO = completion
+				}
+			})
+		})
+	})
+}
+
+// mapPTE installs a present PTE for an existing page (minor fault).
+func (k *Kernel) mapPTE(as *mmu.AddressSpace, va pagetable.VAddr, vma *VMA, pg *Page) {
+	k.finishMap(as, va, vma, pg)
+}
+
+func (k *Kernel) finishMap(as *mmu.AddressSpace, va pagetable.VAddr, vma *VMA, pg *Page) {
+	_, _, pte := as.Table.Ensure(va.PageBase())
+	pte.Set(pagetable.MakePresent(pg.frame, vma.Prot, true))
+	m := mapping{as: as, va: va.PageBase(), pte: pte, vma: vma}
+	// Fix up the reverse map with the final PTE ref.
+	replaced := false
+	for i := range pg.maps {
+		if pg.maps[i].as == as && pg.maps[i].va == m.va {
+			pg.maps[i] = m
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		pg.maps = append(pg.maps, m)
+	}
+}
+
+// refillOnFault tops up every SMU free page queue from the allocator, on
+// the faulting core, while the fault's device I/O is outstanding.
+func (k *Kernel) refillOnFault(hw *cpu.HWThread) {
+	var total int
+	for _, s := range k.smus {
+		total += k.refillSMU(s)
+	}
+	if total > 0 {
+		k.kexec(hw, k.cfg.Costs.RefillPerFrame*sim.Time(total), func() {})
+	}
+}
+
+// refillSMU moves frames from the allocator into one SMU's free page
+// queue(s), respecting the kpoold reserve. It returns the number of frames
+// transferred (bookkeeping only; callers charge the time).
+func (k *Kernel) refillSMU(s *smu.SMU) int {
+	reserve := int(float64(k.mem.Frames()) * k.cfg.KpooldReserveFrac)
+	total := 0
+	for core, q := range s.Queues() {
+		space := q.Space()
+		avail := int(k.mem.FreeFrames()) - reserve
+		if avail < space {
+			space = avail
+		}
+		if space <= 0 {
+			continue
+		}
+		frames := k.mem.AllocN(space)
+		recs := make([]smu.FrameRecord, len(frames))
+		for i, f := range frames {
+			recs[i] = smu.RecordFor(f)
+		}
+		if n := s.RefillCore(core, recs); n != len(recs) {
+			panic("kernel: free page queue rejected a sized refill")
+		}
+		total += len(recs)
+	}
+	return total
+}
+
+// swFault is the SW-only scheme (Fig. 17): the exception is taken, an early
+// LBA-bit check routes to a function that emulates the SMU in software —
+// PMSHR kept as a memory table, the NVMe command issued by the kernel, and
+// monitor/mwait used to wait for the completion without a context switch.
+// OS metadata stays batched via kpted, like HWDP.
+func (k *Kernel) swFault(th *Thread, as *mmu.AddressSpace, va pagetable.VAddr,
+	vma *VMA, idx int, done func()) {
+	c := k.cfg.Costs
+	hw := th.HW
+	k.stats.SWFaults++
+	k.kexec(hw, c.Exception+c.SWCheck, func() {
+		_, _, pte, ok := as.Table.Walk(va)
+		if !ok {
+			panic("kernel: sw fault on unpopulated table")
+		}
+		addr := pte.Addr()
+		if waiters, dup := k.swPMSHR[addr]; dup {
+			// Emulated-PMSHR hit: wait for the original fault. mwait until
+			// the completion broadcast.
+			k.swPMSHR[addr] = append(waiters, done)
+			return
+		}
+		k.swPMSHR[addr] = nil
+		k.kexec(hw, c.SWPMSHR, func() {
+			k.allocFrame(hw, func(frame mem.FrameID) {
+				blk := pte.Get().Block()
+				if blk.LBA == pagetable.AnonFirstTouch {
+					// Emulated SMU bypasses I/O for first-touch anonymous
+					// pages, like the hardware.
+					k.kexec(hw, c.SWComplete, func() {
+						pud, pmd, pteRef, _ := as.Table.Walk(va)
+						pteRef.Set(pagetable.MakePresent(frame, vma.Prot, false))
+						pagetable.MarkUnsynced(pud, pmd)
+						waiters := k.swPMSHR[addr]
+						delete(k.swPMSHR, addr)
+						done()
+						for _, w := range waiters {
+							w()
+						}
+					})
+					return
+				}
+				k.kexec(hw, c.SWSubmit, func() {
+					th.beginStall(k) // mwait: core waits, issues nothing
+					k.submitIO(vma.st, hw, nvme.OpRead, blk.LBA, frame, func(ok bool) {
+						if !ok {
+							panic("kernel: sw fault read failed")
+						}
+						// The interrupt handler touches the monitored
+						// address; the mwait returns and the routine
+						// finishes the miss.
+						th.endStall()
+						k.kexec(hw, c.InterruptDelivery+c.SWComplete, func() {
+							pud, pmd, pteRef, _ := as.Table.Walk(va)
+							pteRef.Set(pagetable.MakePresent(frame, vma.Prot, false))
+							pagetable.MarkUnsynced(pud, pmd)
+							waiters := k.swPMSHR[addr]
+							delete(k.swPMSHR, addr)
+							done()
+							for _, w := range waiters {
+								w()
+							}
+						})
+					})
+				})
+			})
+		})
+	})
+}

@@ -1,0 +1,431 @@
+// Package kernel models the operating system: processes, VMAs and mmap,
+// the page cache with clock-LRU replacement and reverse mappings, the
+// OS-based demand-paging fault handler with its full I/O stack (OSDP), the
+// software-emulated SMU variant (SWDP, Fig. 17), and the control-plane
+// support for hardware demand paging (HWDP): fast-mmap LBA augmentation,
+// free-page-queue refill, and the kpted / kpoold background threads
+// (Section IV of the paper).
+package kernel
+
+import (
+	"container/list"
+	"fmt"
+
+	"hwdp/internal/cpu"
+	"hwdp/internal/fs"
+	"hwdp/internal/mem"
+	"hwdp/internal/mmu"
+	"hwdp/internal/nvme"
+	"hwdp/internal/pagetable"
+	"hwdp/internal/sim"
+	"hwdp/internal/smu"
+	"hwdp/internal/ssd"
+)
+
+// Scheme selects the demand-paging implementation.
+type Scheme int
+
+// Schemes. OSDP is the vanilla kernel; SWDP keeps the exception but runs a
+// software-emulated SMU over LBA-augmented PTEs; HWDP is the paper's
+// proposal.
+const (
+	OSDP Scheme = iota
+	SWDP
+	HWDP
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case OSDP:
+		return "OSDP"
+	case SWDP:
+		return "SW-only"
+	case HWDP:
+		return "HWDP"
+	}
+	return "?"
+}
+
+// Config tunes the kernel model.
+type Config struct {
+	Scheme Scheme
+	Costs  Costs
+
+	// KpooldPeriod is the free-page-queue refill period (paper: 4 ms).
+	KpooldPeriod sim.Time
+	// KptedPeriod is the OS-metadata sync period. The paper uses 1 s on a
+	// 32 GiB machine; the default scales it with the smaller simulated
+	// memories so that (period / memory-rotation time) is preserved.
+	KptedPeriod sim.Time
+	// KswapdPeriod is the background reclaim scan period.
+	KswapdPeriod sim.Time
+
+	DisableKpoold bool // ablation: no background refill (Section IV-D)
+	DisableKpted  bool
+
+	// LowWaterFrac / HighWaterFrac bound background reclaim: kswapd starts
+	// evicting below low*frames free and stops at high*frames.
+	LowWaterFrac  float64
+	HighWaterFrac float64
+
+	// KpooldReserveFrac keeps kpoold from handing the allocator's last
+	// frames to the SMU.
+	KpooldReserveFrac float64
+
+	// StallTimeout, when non-zero under HWDP, bounds how long a pipeline
+	// stall may wait on the SMU: past it, a timeout exception fires and the
+	// OS context-switches the thread away until the miss completes
+	// (Section V, "Long Latency I/O"). Zero disables the timeout.
+	StallTimeout sim.Time
+}
+
+// DefaultConfig returns the configuration used by the evaluation.
+func DefaultConfig(scheme Scheme) Config {
+	return Config{
+		Scheme:            scheme,
+		Costs:             DefaultCosts(),
+		KpooldPeriod:      4 * sim.Millisecond,
+		KptedPeriod:       40 * sim.Millisecond,
+		KswapdPeriod:      1 * sim.Millisecond,
+		LowWaterFrac:      0.06,
+		HighWaterFrac:     0.12,
+		KpooldReserveFrac: 0.03,
+	}
+}
+
+// Stats are kernel-level event counters.
+type Stats struct {
+	MajorFaults     uint64 // OSDP faults with device I/O
+	MinorFaults     uint64 // page-cache hits
+	SWFaults        uint64 // SWDP software-SMU faults
+	HWBounceFaults  uint64 // HWDP misses bounced for lack of free pages
+	Evictions       uint64
+	Writebacks      uint64
+	DirectReclaims  uint64
+	KptedRuns       uint64
+	KptedSyncs      uint64
+	KptedPTEsSeen   uint64
+	KpooldFrames    uint64
+	FaultRefills    uint64 // free-queue refills done on the fault path
+	StallTimeouts   uint64 // HWDP stalls converted to context switches
+	MmapPages       uint64
+	MunmapPages     uint64
+	Forks           uint64
+	Msyncs          uint64
+	RemapPatchedPTE uint64
+}
+
+type storKey struct{ sid, dev uint8 }
+
+type osQueue struct {
+	qp      *nvme.QueuePair
+	nextCID uint16
+	pending map[uint16]func(ok bool)
+}
+
+type storage struct {
+	key  storKey
+	dev  *ssd.Device
+	fsys *fs.FS
+	// One OS-managed queue pair per hardware thread, NVMe-style.
+	qps    map[int]*osQueue
+	nextQP uint16
+}
+
+// Process is one address space plus its VMAs.
+type Process struct {
+	k       *Kernel
+	AS      *mmu.AddressSpace
+	vmas    []*VMA
+	nextMap pagetable.VAddr
+}
+
+// VMA is one mapped region of a file (or of anonymous memory, in which
+// case File is a hidden swap-backing file).
+type VMA struct {
+	Start pagetable.VAddr
+	Pages int
+	File  *fs.File
+	st    *storage
+	Fast  bool // mapped with the fast-mmap flag (LBA augmentation)
+	Anon  bool // anonymous memory (File is the swap backing)
+	Prot  pagetable.Prot
+	proc  *Process
+	dead  bool
+	// swapped records anonymous pages whose current content lives in the
+	// swap backing (they were written and later evicted); other anonymous
+	// pages refault as zero-fills without I/O.
+	swapped map[int]bool
+}
+
+// End returns the first address past the VMA.
+func (v *VMA) End() pagetable.VAddr {
+	return v.Start + pagetable.VAddr(v.Pages)*mem.PageSize
+}
+
+func (v *VMA) contains(va pagetable.VAddr) bool { return va >= v.Start && va < v.End() }
+
+func (v *VMA) pageIndex(va pagetable.VAddr) int {
+	return int((va.PageBase() - v.Start) / mem.PageSize)
+}
+
+// Thread is a schedulable software thread pinned to one hardware thread
+// (the evaluation pins workload threads to logical cores).
+type Thread struct {
+	ID       int
+	HW       *cpu.HWThread
+	Proc     *Process
+	stallEnd func()
+}
+
+// CoreID implements mmu.CoreCarrier: the logical core the thread is pinned
+// to (selects the per-core free page queue when the SMU runs them).
+func (t *Thread) CoreID() int { return t.HW.ID }
+
+func (t *Thread) beginStall(k *Kernel) { t.stallEnd = k.cpu.BeginStall(t.HW) }
+
+func (t *Thread) endStall() {
+	if t.stallEnd != nil {
+		t.stallEnd()
+		t.stallEnd = nil
+	}
+}
+
+// mapping is one (address space, va) that maps a page (reverse map record).
+type mapping struct {
+	as  *mmu.AddressSpace
+	va  pagetable.VAddr
+	pte pagetable.EntryRef
+	vma *VMA
+}
+
+// Page is the kernel's struct page: a resident file page.
+type Page struct {
+	frame mem.FrameID
+	file  *fs.File
+	idx   int
+	st    *storage
+	maps  []mapping
+	elem  *list.Element // LRU position, nil while not on the LRU
+	wb    bool          // under writeback
+}
+
+type pcKey struct {
+	file *fs.File
+	idx  int
+}
+
+// Kernel is the OS model for one machine.
+type Kernel struct {
+	eng *sim.Engine
+	cpu *cpu.CPU
+	mem *mem.Memory
+	mmu *mmu.MMU
+	cfg Config
+
+	storages map[storKey]*storage
+	smus     map[uint8]*smu.SMU
+
+	procs    []*Process
+	byASID   map[uint32]*Process
+	nextASID uint32
+
+	pageCache map[pcKey]*Page
+	lru       *list.List
+
+	// Software-emulated PMSHR for the SW-only scheme.
+	swPMSHR map[pagetable.EntryAddr][]func()
+
+	// In-flight major faults by file page (page-lock serialization).
+	faultInflight map[pcKey][]func()
+
+	kptedHW, kpooldHW, kswapdHW *cpu.HWThread
+
+	// walBuffer is a pinned frame used as the DMA source for WriteRaw.
+	walBuffer mem.FrameID
+
+	reclaiming bool
+	stats      Stats
+	started    bool
+}
+
+// New wires a kernel over the machine components. Background threads run on
+// the provided hardware threads (the paper's kernel threads are ordinary
+// schedulable threads; the evaluation machine has spare logical cores).
+func New(eng *sim.Engine, c *cpu.CPU, m *mem.Memory, mm *mmu.MMU, cfg Config,
+	kptedHW, kpooldHW, kswapdHW *cpu.HWThread) *Kernel {
+	k := &Kernel{
+		eng:           eng,
+		cpu:           c,
+		mem:           m,
+		mmu:           mm,
+		cfg:           cfg,
+		storages:      make(map[storKey]*storage),
+		smus:          make(map[uint8]*smu.SMU),
+		byASID:        make(map[uint32]*Process),
+		pageCache:     make(map[pcKey]*Page),
+		lru:           list.New(),
+		swPMSHR:       make(map[pagetable.EntryAddr][]func()),
+		faultInflight: make(map[pcKey][]func()),
+		kptedHW:       kptedHW,
+		kpooldHW:      kpooldHW,
+		kswapdHW:      kswapdHW,
+		walBuffer:     mem.NoFrame,
+	}
+	mm.SetOSFaultHandler(k.handleFault)
+	mm.DispatchHW = cfg.Scheme == HWDP
+	return k
+}
+
+// Stats returns a copy of the counters.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// Config returns the kernel configuration.
+func (k *Kernel) Config() Config { return k.cfg }
+
+// Memory exposes the physical memory (examples and the harness inspect it).
+func (k *Kernel) Memory() *mem.Memory { return k.mem }
+
+// AttachStorage registers a device + file system at <sid, devID> and hooks
+// the file system's block-remap notifications so LBA-augmented PTEs of
+// marked files stay correct.
+func (k *Kernel) AttachStorage(sid, devID uint8, dev *ssd.Device, fsys *fs.FS) {
+	key := storKey{sid, devID}
+	if _, dup := k.storages[key]; dup {
+		panic(fmt.Sprintf("kernel: storage %v attached twice", key))
+	}
+	st := &storage{key: key, dev: dev, fsys: fsys, qps: make(map[int]*osQueue), nextQP: 1000}
+	k.storages[key] = st
+	fsys.OnRemap(func(f *fs.File, page int, nb pagetable.BlockAddr) {
+		k.patchRemappedPTEs(st, f, page, nb)
+	})
+}
+
+// AttachSMU registers the SMU for a socket (HWDP control plane: refills and
+// barriers).
+func (k *Kernel) AttachSMU(s *smu.SMU) {
+	if _, dup := k.smus[s.SID]; dup {
+		panic(fmt.Sprintf("kernel: SMU %d attached twice", s.SID))
+	}
+	k.smus[s.SID] = s
+}
+
+// Start primes the free page queues and launches the background threads.
+// Call once, after attaching storage and SMUs.
+func (k *Kernel) Start() {
+	if k.started {
+		panic("kernel: Start called twice")
+	}
+	k.started = true
+	if k.cfg.Scheme == HWDP {
+		for _, s := range k.smus {
+			k.refillSMU(s)
+		}
+		if !k.cfg.DisableKpoold {
+			k.eng.After(k.cfg.KpooldPeriod, k.kpooldTick)
+		}
+	}
+	if (k.cfg.Scheme == HWDP || k.cfg.Scheme == SWDP) && !k.cfg.DisableKpted {
+		k.eng.After(k.cfg.KptedPeriod, k.kptedTick)
+	}
+	k.eng.After(k.cfg.KswapdPeriod, k.kswapdTick)
+}
+
+// NewProcess creates a process with an empty address space.
+func (k *Kernel) NewProcess() *Process {
+	k.nextASID++
+	p := &Process{
+		k:       k,
+		AS:      &mmu.AddressSpace{ASID: k.nextASID, Table: pagetable.New()},
+		nextMap: 0x1000_0000_0000,
+	}
+	k.procs = append(k.procs, p)
+	k.byASID[p.AS.ASID] = p
+	return p
+}
+
+// NewThread pins a software thread to hardware thread hwID.
+func (k *Kernel) NewThread(p *Process, hwID int) *Thread {
+	return &Thread{ID: hwID, HW: k.cpu.Thread(hwID), Proc: p}
+}
+
+func (p *Process) findVMA(va pagetable.VAddr) *VMA {
+	for _, v := range p.vmas {
+		if !v.dead && v.contains(va) {
+			return v
+		}
+	}
+	return nil
+}
+
+// kexec runs kernel work of duration d on hw, waiting for the hardware
+// thread to become idle first (an interrupt arriving while the core still
+// runs the context-switch-out path is delayed, as on real hardware where it
+// is serviced at the next instruction boundary of the critical section).
+func (k *Kernel) kexec(hw *cpu.HWThread, d sim.Time, fn func()) {
+	if hw.State() != cpu.Idle {
+		k.eng.After(sim.Nano(150), func() { k.kexec(hw, d, fn) })
+		return
+	}
+	k.cpu.KernelExec(hw, d, fn)
+}
+
+// osQueueFor returns (lazily creating) the per-hardware-thread OS queue
+// pair on a storage device.
+func (k *Kernel) osQueueFor(st *storage, hw *cpu.HWThread) *osQueue {
+	q, ok := st.qps[hw.ID]
+	if !ok {
+		qp := nvme.NewQueuePair(st.nextQP, 256)
+		st.nextQP++
+		q = &osQueue{qp: qp, pending: make(map[uint16]func(ok bool))}
+		st.qps[hw.ID] = q
+		st.dev.Attach(qp, func(cp nvme.Completion) { k.osInterrupt(q, cp) })
+	}
+	return q
+}
+
+// osInterrupt is the device interrupt path for OS-managed queues. The
+// per-command callback decides what handling to charge where.
+func (k *Kernel) osInterrupt(q *osQueue, _ nvme.Completion) {
+	for {
+		cp, ok := q.qp.PollCQ()
+		if !ok {
+			return
+		}
+		q.qp.ConsumeCQ()
+		cb := q.pending[cp.CID]
+		delete(q.pending, cp.CID)
+		if cb != nil {
+			cb(cp.OK())
+		}
+	}
+}
+
+// submitIO issues a read or write on the caller's OS queue pair. done runs
+// at completion-interrupt time (callers charge completion costs).
+func (k *Kernel) submitIO(st *storage, hw *cpu.HWThread, op nvme.Opcode, lba uint64,
+	frame mem.FrameID, done func(ok bool)) {
+	q := k.osQueueFor(st, hw)
+	cid := q.nextCID
+	q.nextCID++
+	q.pending[cid] = done
+	cmd := nvme.Command{
+		Opcode: op,
+		CID:    cid,
+		NSID:   st.fsys.NSID(),
+		PRP1:   uint64(frame) * mem.PageSize,
+		SLBA:   lba,
+	}
+	if err := q.qp.Submit(cmd); err != nil {
+		panic(fmt.Sprintf("kernel: OS queue overflow: %v", err))
+	}
+	st.dev.RingSQDoorbell(q.qp.ID)
+}
+
+func (k *Kernel) storageFor(b pagetable.BlockAddr) *storage {
+	st, ok := k.storages[storKey{b.SID, b.DeviceID}]
+	if !ok {
+		panic(fmt.Sprintf("kernel: no storage for %v", b))
+	}
+	return st
+}

@@ -1,0 +1,67 @@
+package kernel
+
+import (
+	"hwdp/internal/pagetable"
+	"hwdp/internal/sim"
+)
+
+// kptedTick is one period of the kpted kernel thread (Section IV-C): scan
+// the page tables of fast-mmap'ed regions for hardware-handled PTEs
+// (resident + LBA bit), update the OS metadata for each in batch, and
+// clear the LBA bits. The upper-level LBA bits let the scan skip clean
+// subtrees.
+func (k *Kernel) kptedTick() {
+	k.stats.KptedRuns++
+	var visited, matched uint64
+	for _, p := range k.procs {
+		p := p
+		st := p.AS.Table.ScanUnsynced(func(va pagetable.VAddr, pte pagetable.EntryRef) {
+			k.syncPageMetadata(p, va, pte)
+		})
+		visited += st.PTEsVisited
+		matched += st.PTEsMatched
+	}
+	k.stats.KptedPTEsSeen += visited
+	cost := k.cfg.Costs.KptedPerPTE*sim.Time(visited) +
+		k.cfg.Costs.KptedPerSync*sim.Time(matched)
+	finish := func() { k.eng.After(k.cfg.KptedPeriod, k.kptedTick) }
+	if cost > 0 {
+		k.kexec(k.kptedHW, cost, finish)
+	} else {
+		finish()
+	}
+}
+
+// kpooldTick is one period of the kpoold kernel thread (Section IV-D):
+// refill every SMU's free page queue in the background so the fault path
+// rarely sees an empty queue.
+func (k *Kernel) kpooldTick() {
+	var total int
+	for _, s := range k.smus {
+		total += k.refillSMU(s)
+	}
+	k.stats.KpooldFrames += uint64(total)
+	finish := func() { k.eng.After(k.cfg.KpooldPeriod, k.kpooldTick) }
+	if total > 0 {
+		k.kexec(k.kpooldHW, k.cfg.Costs.KpooldPerPage*sim.Time(total), finish)
+	} else {
+		finish()
+	}
+}
+
+// kswapdTick is the background reclaim thread: keep free memory between
+// the watermarks by evicting cold pages from the clock LRU.
+func (k *Kernel) kswapdTick() {
+	free, low, high := k.freeLevel()
+	reschedule := func() { k.eng.After(k.cfg.KswapdPeriod, k.kswapdTick) }
+	if free >= low || k.reclaiming {
+		reschedule()
+		return
+	}
+	k.reclaiming = true
+	target := int(high - free)
+	k.reclaim(k.kswapdHW, target, func(int) {
+		k.reclaiming = false
+		reschedule()
+	})
+}

@@ -1,0 +1,22 @@
+package kvs
+
+import "testing"
+
+func BenchmarkRecordEncode(b *testing.B) {
+	buf := make([]byte, RecordSize)
+	b.SetBytes(RecordSize)
+	for i := 0; i < b.N; i++ {
+		encodeRecord(buf, uint64(i), 1)
+	}
+}
+
+func BenchmarkRecordValidate(b *testing.B) {
+	buf := make([]byte, RecordSize)
+	encodeRecord(buf, 42, 7)
+	b.SetBytes(RecordSize)
+	for i := 0; i < b.N; i++ {
+		if _, err := validateRecord(buf, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

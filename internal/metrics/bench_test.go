@@ -1,0 +1,23 @@
+package metrics
+
+import "testing"
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i%10_000_000 + 1))
+	}
+}
+
+func BenchmarkHistogramPercentile(b *testing.B) {
+	h := NewHistogram()
+	for i := int64(0); i < 100000; i++ {
+		h.Record(i * 37 % 10_000_000)
+	}
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += h.Percentile(99)
+	}
+	_ = sink
+}

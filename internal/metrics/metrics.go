@@ -1,0 +1,230 @@
+// Package metrics provides the counters and latency histograms used to
+// report every figure in the evaluation. Histograms use logarithmic
+// bucketing (HDR-style: power-of-two magnitude, linear sub-buckets) so
+// percentiles over nanosecond-to-millisecond latencies stay accurate with
+// bounded memory.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct{ n uint64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+const subBucketBits = 5 // 32 linear sub-buckets per power of two
+
+// Histogram records non-negative int64 samples (latencies in picoseconds)
+// with ~3% relative bucket error.
+type Histogram struct {
+	buckets map[int32]uint64
+	count   uint64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make(map[int32]uint64), min: math.MaxInt64}
+}
+
+func bucketIndex(v int64) int32 {
+	if v < 0 {
+		v = 0
+	}
+	if v < 1<<subBucketBits {
+		return int32(v)
+	}
+	msb := 63 - leadingZeros(uint64(v))
+	shift := msb - subBucketBits
+	sub := (v >> uint(shift)) & ((1 << subBucketBits) - 1)
+	return int32((int64(shift)+1)<<subBucketBits | sub)
+}
+
+func bucketLow(idx int32) int64 {
+	if idx < 1<<subBucketBits {
+		return int64(idx)
+	}
+	shift := int64(idx>>subBucketBits) - 1
+	sub := int64(idx & ((1 << subBucketBits) - 1))
+	return (1<<subBucketBits | sub) << uint(shift)
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean returns the sample mean, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min returns the smallest sample, or 0 for an empty histogram.
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample, or 0 for an empty histogram.
+func (h *Histogram) Max() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Percentile returns the approximate p-th percentile (p in [0,100]).
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 100 {
+		return h.max
+	}
+	target := uint64(math.Ceil(float64(h.count) * p / 100))
+	idxs := make([]int32, 0, len(h.buckets))
+	for idx := range h.buckets {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	var cum uint64
+	for _, idx := range idxs {
+		cum += h.buckets[idx]
+		if cum >= target {
+			lo := bucketLow(idx)
+			if lo < h.min {
+				lo = h.min
+			}
+			if lo > h.max {
+				lo = h.max
+			}
+			return lo
+		}
+	}
+	return h.max
+}
+
+// Reset clears all samples.
+func (h *Histogram) Reset() {
+	h.buckets = make(map[int32]uint64)
+	h.count = 0
+	h.sum = 0
+	h.min = math.MaxInt64
+	h.max = 0
+}
+
+// Merge adds all samples of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for idx, n := range other.buckets {
+		h.buckets[idx] += n
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.count > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// Breakdown is an ordered list of named component values; it renders the
+// stacked-bar figures of the paper (Figs. 1, 3, 11, 15) as text tables.
+type Breakdown struct {
+	Labels []string
+	Values []float64
+	Unit   string
+}
+
+// Add appends one component.
+func (b *Breakdown) Add(label string, v float64) {
+	b.Labels = append(b.Labels, label)
+	b.Values = append(b.Values, v)
+}
+
+// Total returns the sum of all components.
+func (b *Breakdown) Total() float64 {
+	var t float64
+	for _, v := range b.Values {
+		t += v
+	}
+	return t
+}
+
+// String renders the breakdown as an aligned table with per-component
+// percentages of the total.
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	total := b.Total()
+	width := 0
+	for _, l := range b.Labels {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	for i, l := range b.Labels {
+		pct := 0.0
+		if total != 0 {
+			pct = 100 * b.Values[i] / total
+		}
+		fmt.Fprintf(&sb, "  %-*s %12.3f %-4s (%5.1f%%)\n", width, l, b.Values[i], b.Unit, pct)
+	}
+	fmt.Fprintf(&sb, "  %-*s %12.3f %s\n", width, "TOTAL", total, b.Unit)
+	return sb.String()
+}

@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for _, v := range []int64{10, 20, 30, 40, 50} {
+		h.Record(v)
+	}
+	if h.Count() != 5 || h.Sum() != 150 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if h.Mean() != 30 {
+		t.Fatalf("mean = %f", h.Mean())
+	}
+	if h.Min() != 10 || h.Max() != 50 {
+		t.Fatalf("min=%d max=%d", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if h.Min() != 0 {
+		t.Fatalf("negative sample not clamped: %d", h.Min())
+	}
+}
+
+func TestBucketMonotonicProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return bucketIndex(x) <= bucketIndex(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketLowInverseProperty(t *testing.T) {
+	// bucketLow(bucketIndex(v)) <= v, and relative error < 1/32.
+	f := func(a uint32) bool {
+		v := int64(a) + 1
+		idx := bucketIndex(v)
+		lo := bucketLow(idx)
+		if lo > v {
+			return false
+		}
+		return float64(v-lo)/float64(v) <= 1.0/16
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram()
+	var vals []int64
+	for i := int64(1); i <= 10000; i++ {
+		h.Record(i)
+		vals = append(vals, i)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, p := range []float64{10, 50, 90, 99, 99.9} {
+		got := h.Percentile(p)
+		exact := vals[int(math.Ceil(float64(len(vals))*p/100))-1]
+		err := math.Abs(float64(got-exact)) / float64(exact)
+		if err > 0.10 {
+			t.Errorf("p%.1f = %d, exact %d (err %.2f)", p, got, exact, err)
+		}
+	}
+	if h.Percentile(0) != 1 || h.Percentile(100) != 10000 {
+		t.Fatalf("p0=%d p100=%d", h.Percentile(0), h.Percentile(100))
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Record(100)
+	b.Record(300)
+	b.Record(500)
+	a.Merge(b)
+	if a.Count() != 3 || a.Sum() != 900 || a.Min() != 100 || a.Max() != 500 {
+		t.Fatalf("merge: count=%d sum=%d min=%d max=%d", a.Count(), a.Sum(), a.Min(), a.Max())
+	}
+	empty := NewHistogram()
+	a.Merge(empty)
+	if a.Count() != 3 {
+		t.Fatal("merging empty changed count")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(42)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("reset failed")
+	}
+	h.Record(7)
+	if h.Min() != 7 || h.Max() != 7 {
+		t.Fatal("post-reset record broken")
+	}
+}
+
+func TestHistogramLargeValues(t *testing.T) {
+	h := NewHistogram()
+	big := int64(1) << 50
+	h.Record(big)
+	got := h.Percentile(50)
+	if float64(got) < float64(big)*0.9 {
+		t.Fatalf("p50 of single huge sample = %d, want ~%d", got, big)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := &Breakdown{Unit: "us"}
+	b.Add("exception", 0.3)
+	b.Add("device", 10.9)
+	if math.Abs(b.Total()-11.2) > 1e-9 {
+		t.Fatalf("total = %f", b.Total())
+	}
+	s := b.String()
+	if !strings.Contains(s, "exception") || !strings.Contains(s, "TOTAL") {
+		t.Fatalf("render: %s", s)
+	}
+}
+
+func TestBreakdownEmptyTotal(t *testing.T) {
+	b := &Breakdown{Unit: "ns"}
+	if b.Total() != 0 {
+		t.Fatal("empty total should be 0")
+	}
+	if !strings.Contains(b.String(), "TOTAL") {
+		t.Fatal("empty render missing TOTAL")
+	}
+}

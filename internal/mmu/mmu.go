@@ -1,0 +1,277 @@
+// Package mmu models the memory management unit: TLB, hardware page-table
+// walker, and the paper's extension — during a walk the MMU checks both the
+// present and LBA bits of the PTE; a non-present, LBA-augmented entry is
+// dispatched to the SMU while the pipeline stalls, instead of raising a
+// page-fault exception (Section III-B, "Page Miss Handling with
+// LBA-augmented PTE").
+package mmu
+
+import (
+	"fmt"
+
+	"hwdp/internal/pagetable"
+	"hwdp/internal/sim"
+	"hwdp/internal/smu"
+)
+
+// Outcome classifies how an access was satisfied.
+type Outcome int
+
+// Outcomes.
+const (
+	// OutcomeTLBHit: translation cached, no walk.
+	OutcomeTLBHit Outcome = iota
+	// OutcomeWalkHit: walk found a resident PTE.
+	OutcomeWalkHit
+	// OutcomeHW: non-present LBA-augmented PTE, handled by the SMU with the
+	// pipeline stalled.
+	OutcomeHW
+	// OutcomeOSFault: exception raised; the OS fault handler resolved it
+	// (either a conventional miss, or a hardware miss that failed for lack
+	// of a free page).
+	OutcomeOSFault
+	// OutcomeBadAddr: no mapping exists at all (segfault).
+	OutcomeBadAddr
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeTLBHit:
+		return "tlb-hit"
+	case OutcomeWalkHit:
+		return "walk-hit"
+	case OutcomeHW:
+		return "hw-miss"
+	case OutcomeOSFault:
+		return "os-fault"
+	case OutcomeBadAddr:
+		return "bad-addr"
+	}
+	return "?"
+}
+
+// CoreCarrier lets the access context (the kernel's thread) tell the MMU
+// which logical core is faulting, for SMUs with per-core free page queues.
+type CoreCarrier interface{ CoreID() int }
+
+// OSFaultFunc raises a page-fault exception to the kernel. The kernel
+// resolves the fault (possibly blocking the thread) and calls done; the
+// MMU then re-walks. hwFailed distinguishes Table I row 1 faults from
+// hardware misses bounced for lack of a free page (the kernel must refill
+// the free page queue in that case).
+type OSFaultFunc func(ctx any, as *AddressSpace, va pagetable.VAddr, write, hwFailed bool, done func())
+
+// AddressSpace couples a page table with an ASID for TLB tagging.
+type AddressSpace struct {
+	ASID  uint32
+	Table *pagetable.Table
+}
+
+// Stats are the MMU's counters.
+type Stats struct {
+	Accesses   uint64
+	TLBHits    uint64
+	Walks      uint64
+	WalkHits   uint64
+	HWMisses   uint64
+	OSFaults   uint64
+	HWBounced  uint64 // hardware misses that fell back to the OS
+	Prefetches uint64 // speculative next-page fetches issued
+}
+
+// Result is delivered to the access callback.
+type Result struct {
+	Outcome Outcome
+	PTE     pagetable.Entry
+}
+
+// MMU is the per-machine translation hardware (the model folds all cores'
+// MMUs into one component; contention effects live in the SMU and device).
+type MMU struct {
+	eng  *sim.Engine
+	tlb  *TLB
+	smus map[uint8]*smu.SMU
+
+	// WalkLatency is charged on every TLB miss (the hardware walker's
+	// memory accesses; calibrated to the paper's Fig. 3 walk share).
+	WalkLatency sim.Time
+
+	// DispatchHW controls whether non-present LBA-augmented PTEs are sent
+	// to the SMU (HWDP) or raise an exception like any other miss (the
+	// SW-only scheme of Fig. 17, where the kernel emulates the SMU).
+	DispatchHW bool
+
+	// PrefetchDegree enables the paper's future-work prefetching support:
+	// after dispatching a hardware miss, the next N virtually-contiguous
+	// LBA-augmented pages are fetched speculatively (nobody waits on them;
+	// the SMU installs their PTEs when the blocks arrive). Zero disables.
+	PrefetchDegree int
+
+	osFault OSFaultFunc
+	stats   Stats
+}
+
+// New builds an MMU with the default TLB geometry and walk latency.
+func New(eng *sim.Engine) *MMU {
+	return &MMU{
+		eng:         eng,
+		tlb:         NewTLB(256, 6),
+		smus:        make(map[uint8]*smu.SMU),
+		WalkLatency: sim.Nano(30),
+		DispatchHW:  true,
+	}
+}
+
+// TLB exposes the TLB (for shootdowns by the kernel).
+func (m *MMU) TLB() *TLB { return m.tlb }
+
+// Stats returns a copy of the counters.
+func (m *MMU) Stats() Stats { return m.stats }
+
+// AttachSMU registers the SMU serving a socket ID.
+func (m *MMU) AttachSMU(s *smu.SMU) {
+	if _, dup := m.smus[s.SID]; dup {
+		panic(fmt.Sprintf("mmu: SMU for socket %d attached twice", s.SID))
+	}
+	m.smus[s.SID] = s
+}
+
+// SetOSFaultHandler installs the kernel's exception entry point.
+func (m *MMU) SetOSFaultHandler(fn OSFaultFunc) { m.osFault = fn }
+
+// Access translates va for the given address space. done fires when the
+// translation (including any miss handling) completes; the elapsed virtual
+// time is the access's translation latency. Write accesses set the dirty
+// bit.
+// The opaque ctx is handed to the OS fault handler unchanged (the kernel
+// passes the faulting thread).
+func (m *MMU) Access(as *AddressSpace, va pagetable.VAddr, write bool, ctx any, done func(Result)) {
+	m.stats.Accesses++
+	vpn := va.PageNumber()
+	if ref, ok := m.tlb.Lookup(as.ASID, vpn); ok {
+		e := ref.Get()
+		if e.Present() {
+			m.stats.TLBHits++
+			if write && !e.Dirty() {
+				ref.Set(e.WithFlags(pagetable.FlagDirty))
+			}
+			done(Result{OutcomeTLBHit, ref.Get()})
+			return
+		}
+		// Stale entry (page was evicted): drop and walk.
+		m.tlb.Invalidate(as.ASID, vpn)
+	}
+	m.stats.Walks++
+	m.eng.After(m.WalkLatency, func() { m.walk(ctx, as, va, write, done, false) })
+}
+
+func (m *MMU) walk(ctx any, as *AddressSpace, va pagetable.VAddr, write bool, done func(Result), retried bool) {
+	pud, pmd, pte, ok := as.Table.Walk(va)
+	if !ok {
+		// No page-table structure at all: a conventional OS fault (mmap'ed
+		// but never populated — the OS allocates tables) or a segfault; the
+		// kernel decides.
+		m.raiseOS(ctx, as, va, write, false, done, retried)
+		return
+	}
+	e := pte.Get()
+	switch e.State() {
+	case pagetable.StateResident, pagetable.StateResidentUnsynced:
+		m.stats.WalkHits++
+		flags := pagetable.FlagAccessed
+		if write {
+			flags |= pagetable.FlagDirty
+		}
+		pte.Set(e.WithFlags(flags))
+		m.tlb.Insert(as.ASID, va.PageNumber(), pte)
+		done(Result{OutcomeWalkHit, pte.Get()})
+
+	case pagetable.StateNotPresentLBA:
+		if !m.DispatchHW {
+			// SW-only scheme: the exception is raised and the kernel's
+			// software SMU emulation takes over.
+			m.raiseOS(ctx, as, va, write, false, done, retried)
+			return
+		}
+		// Both checks in one walk step: present clear, LBA set → request
+		// the SMU identified by the socket ID; the pipeline stalls.
+		blk := e.Block()
+		s, okSMU := m.smus[blk.SID]
+		if !okSMU {
+			panic(fmt.Sprintf("mmu: PTE names socket %d with no SMU", blk.SID))
+		}
+		m.stats.HWMisses++
+		core := 0
+		if cc, okc := ctx.(CoreCarrier); okc {
+			core = cc.CoreID()
+		}
+		req := smu.Request{PUD: pud, PMD: pmd, PTE: pte, Block: blk, Prot: e.Prot(), Core: core}
+		s.HandleMiss(req, func(res smu.Result, newPTE pagetable.Entry) {
+			switch res {
+			case smu.ResultOK:
+				if write {
+					pte.Set(pte.Get().WithFlags(pagetable.FlagDirty))
+				}
+				m.tlb.Insert(as.ASID, va.PageNumber(), pte)
+				done(Result{OutcomeHW, pte.Get()})
+			default:
+				// Free page queue empty (or I/O error): raise the
+				// exception after all.
+				m.stats.HWBounced++
+				m.raiseOS(ctx, as, va, write, true, done, retried)
+			}
+		})
+		m.prefetch(as, va, core, s)
+
+	case pagetable.StateNotPresentOS:
+		m.raiseOS(ctx, as, va, write, false, done, retried)
+	}
+}
+
+// prefetch speculatively dispatches the next virtually-contiguous
+// LBA-augmented pages to the SMU. Failures (no free page) are silently
+// dropped: a prefetch must never cause an OS fault.
+func (m *MMU) prefetch(as *AddressSpace, va pagetable.VAddr, core int, s *smu.SMU) {
+	for i := 1; i <= m.PrefetchDegree; i++ {
+		nva := va.PageBase() + pagetable.VAddr(i)*4096
+		pud, pmd, pte, ok := as.Table.Walk(nva)
+		if !ok {
+			return
+		}
+		e := pte.Get()
+		if e.State() != pagetable.StateNotPresentLBA || e.Block().LBA == pagetable.AnonFirstTouch {
+			return
+		}
+		blk := e.Block()
+		if blk.SID != s.SID {
+			return
+		}
+		m.stats.Prefetches++
+		req := smu.Request{PUD: pud, PMD: pmd, PTE: pte, Block: blk, Prot: e.Prot(), Core: core}
+		s.HandleMiss(req, func(res smu.Result, _ pagetable.Entry) {
+			if res == smu.ResultOK {
+				m.tlb.Insert(as.ASID, nva.PageNumber(), pte)
+			}
+		})
+	}
+}
+
+func (m *MMU) raiseOS(ctx any, as *AddressSpace, va pagetable.VAddr, write, hwFailed bool, done func(Result), retried bool) {
+	if m.osFault == nil || retried {
+		done(Result{Outcome: OutcomeBadAddr})
+		return
+	}
+	m.stats.OSFaults++
+	m.osFault(ctx, as, va, write, hwFailed, func() {
+		// Re-walk once the kernel resolved the fault; a second failure is
+		// fatal for the access (the kernel would deliver SIGSEGV). The
+		// overall access is reported as an OS fault regardless of how the
+		// retry hits.
+		m.walk(ctx, as, va, write, func(r Result) {
+			if r.Outcome == OutcomeWalkHit || r.Outcome == OutcomeHW {
+				r.Outcome = OutcomeOSFault
+			}
+			done(r)
+		}, true)
+	})
+}

@@ -1,0 +1,110 @@
+package mmu
+
+import "hwdp/internal/pagetable"
+
+// TLB is a set-associative translation lookaside buffer. Entries carry a
+// reference to the backing PTE so the hardware can set dirty bits on write
+// hits without a walk, and so invalidations on unmap/eviction keep the TLB
+// coherent with the page table.
+type TLB struct {
+	sets int
+	ways int
+	ents [][]tlbEntry // [set][way]
+	rr   []int        // round-robin replacement pointer per set
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type tlbEntry struct {
+	valid bool
+	asid  uint32
+	vpn   uint64
+	pte   pagetable.EntryRef
+}
+
+// NewTLB builds a TLB with the given geometry. The default used by the
+// machine model is 256 sets × 6 ways = 1536 entries, a Haswell-class
+// two-level-TLB-equivalent capacity.
+func NewTLB(sets, ways int) *TLB {
+	if sets <= 0 || ways <= 0 {
+		panic("mmu: bad TLB geometry")
+	}
+	t := &TLB{sets: sets, ways: ways, rr: make([]int, sets)}
+	t.ents = make([][]tlbEntry, sets)
+	for i := range t.ents {
+		t.ents[i] = make([]tlbEntry, ways)
+	}
+	return t
+}
+
+// Entries returns the TLB capacity.
+func (t *TLB) Entries() int { return t.sets * t.ways }
+
+// Hits returns the cumulative hit count.
+func (t *TLB) Hits() uint64 { return t.hits }
+
+// Misses returns the cumulative miss count.
+func (t *TLB) Misses() uint64 { return t.misses }
+
+func (t *TLB) set(vpn uint64) int { return int(vpn % uint64(t.sets)) }
+
+// Lookup finds a translation. ok is false on a miss.
+func (t *TLB) Lookup(asid uint32, vpn uint64) (pagetable.EntryRef, bool) {
+	s := t.ents[t.set(vpn)]
+	for i := range s {
+		if s[i].valid && s[i].asid == asid && s[i].vpn == vpn {
+			t.hits++
+			return s[i].pte, true
+		}
+	}
+	t.misses++
+	return pagetable.EntryRef{}, false
+}
+
+// Insert fills a translation, evicting round-robin within the set.
+func (t *TLB) Insert(asid uint32, vpn uint64, pte pagetable.EntryRef) {
+	si := t.set(vpn)
+	s := t.ents[si]
+	for i := range s {
+		if s[i].valid && s[i].asid == asid && s[i].vpn == vpn {
+			s[i].pte = pte
+			return
+		}
+	}
+	for i := range s {
+		if !s[i].valid {
+			s[i] = tlbEntry{valid: true, asid: asid, vpn: vpn, pte: pte}
+			return
+		}
+	}
+	w := t.rr[si]
+	t.rr[si] = (w + 1) % t.ways
+	s[w] = tlbEntry{valid: true, asid: asid, vpn: vpn, pte: pte}
+	t.evictions++
+}
+
+// Invalidate drops one translation (TLB shootdown on unmap or page
+// replacement).
+func (t *TLB) Invalidate(asid uint32, vpn uint64) {
+	s := t.ents[t.set(vpn)]
+	for i := range s {
+		if s[i].valid && s[i].asid == asid && s[i].vpn == vpn {
+			s[i].valid = false
+			return
+		}
+	}
+}
+
+// InvalidateASID drops all translations of one address space (context
+// teardown / fork revert).
+func (t *TLB) InvalidateASID(asid uint32) {
+	for _, s := range t.ents {
+		for i := range s {
+			if s[i].asid == asid {
+				s[i].valid = false
+			}
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package nvme implements the subset of the NVM Express protocol the paper
+// relies on: 64-byte I/O commands, paired submission/completion queues with
+// doorbells and the completion phase bit, and namespaces. Both the OS block
+// layer (OSDP) and the SMU's NVMe host controller (HWDP) drive devices
+// through this package — the SMU issues "a 4KB read without a physical
+// region page (PRP) list", i.e. a single-PRP read command.
+package nvme
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Opcode is an NVMe I/O command opcode.
+type Opcode uint8
+
+// NVM command set opcodes (NVMe 1.3, Fig. 346).
+const (
+	OpFlush Opcode = 0x00
+	OpWrite Opcode = 0x01
+	OpRead  Opcode = 0x02
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpFlush:
+		return "flush"
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	}
+	return fmt.Sprintf("op%#x", uint8(o))
+}
+
+// CommandSize is the size of an NVMe submission queue entry.
+const CommandSize = 64
+
+// BlockSize is the logical block size of all simulated namespaces. The
+// paper's PTEs address 4 KiB pages; with 4 KiB logical blocks a page is
+// exactly one block.
+const BlockSize = 4096
+
+// Command is a decoded submission-queue entry. PRP1 carries the DMA target
+// (the physical address of the destination frame); commands for one 4 KiB
+// block never need PRP2 or a PRP list.
+type Command struct {
+	Opcode Opcode
+	CID    uint16 // command identifier, echoed in the completion
+	NSID   uint32 // namespace
+	PRP1   uint64 // DMA address
+	SLBA   uint64 // starting LBA
+	NLB    uint16 // number of logical blocks, 0-based per spec
+	Urgent bool   // storage-side urgent priority (Section V)
+}
+
+// Blocks returns the transfer length in logical blocks.
+func (c Command) Blocks() int { return int(c.NLB) + 1 }
+
+// Encode serializes the command into its 64-byte wire format
+// (spec-shaped: DW0 opcode/CID, DW1 NSID, DW6-7 PRP1, DW10-11 SLBA,
+// DW12 NLB; the urgent hint uses a reserved DW13 bit).
+func (c Command) Encode() [CommandSize]byte {
+	var b [CommandSize]byte
+	binary.LittleEndian.PutUint32(b[0:], uint32(c.Opcode)|uint32(c.CID)<<16)
+	binary.LittleEndian.PutUint32(b[4:], c.NSID)
+	binary.LittleEndian.PutUint64(b[24:], c.PRP1)
+	binary.LittleEndian.PutUint64(b[40:], c.SLBA)
+	binary.LittleEndian.PutUint32(b[48:], uint32(c.NLB))
+	if c.Urgent {
+		b[52] = 1
+	}
+	return b
+}
+
+// ErrBadCommand reports a malformed submission entry.
+var ErrBadCommand = errors.New("nvme: malformed command")
+
+// Decode parses a 64-byte submission entry.
+func Decode(b [CommandSize]byte) (Command, error) {
+	dw0 := binary.LittleEndian.Uint32(b[0:])
+	c := Command{
+		Opcode: Opcode(dw0 & 0xFF),
+		CID:    uint16(dw0 >> 16),
+		NSID:   binary.LittleEndian.Uint32(b[4:]),
+		PRP1:   binary.LittleEndian.Uint64(b[24:]),
+		SLBA:   binary.LittleEndian.Uint64(b[40:]),
+		NLB:    uint16(binary.LittleEndian.Uint32(b[48:])),
+		Urgent: b[52] == 1,
+	}
+	switch c.Opcode {
+	case OpFlush, OpWrite, OpRead:
+	default:
+		return Command{}, fmt.Errorf("%w: opcode %#x", ErrBadCommand, uint8(c.Opcode))
+	}
+	return c, nil
+}
+
+// Status codes in completion entries.
+const (
+	StatusSuccess     uint16 = 0x0
+	StatusInvalidNS   uint16 = 0xB
+	StatusLBARange    uint16 = 0x80
+	StatusInternalErr uint16 = 0x6
+)
+
+// Completion is a completion-queue entry. Phase is the phase tag the host
+// compares against its expected phase to detect new entries.
+type Completion struct {
+	CID    uint16
+	SQID   uint16
+	SQHead uint16
+	Status uint16
+	Phase  bool
+}
+
+// OK reports whether the command succeeded.
+func (cp Completion) OK() bool { return cp.Status == StatusSuccess }

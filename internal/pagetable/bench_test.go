@@ -1,0 +1,52 @@
+package pagetable
+
+import "testing"
+
+func BenchmarkWalk(b *testing.B) {
+	t := New()
+	for i := 0; i < 4096; i++ {
+		t.Set(VAddr(i)<<12, MakePresent(1, Prot{}, true))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _, _ = t.Walk(VAddr(i&4095) << 12)
+	}
+}
+
+func BenchmarkEnsure(b *testing.B) {
+	t := New()
+	for i := 0; i < b.N; i++ {
+		t.Ensure(VAddr(i%(1<<20)) << 12)
+	}
+}
+
+func BenchmarkScanUnsynced(b *testing.B) {
+	t := New()
+	for i := 0; i < 1<<16; i++ {
+		pud, pmd, pte := t.Ensure(VAddr(i) << 12)
+		pte.Set(MakePresent(1, Prot{}, false))
+		MarkUnsynced(pud, pmd)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.ScanUnsynced(func(va VAddr, p EntryRef) {})
+		b.StopTimer()
+		// Re-mark so each iteration scans the same work.
+		t.ScanAll(func(va VAddr, p EntryRef) {})
+		for j := 0; j < 1<<16; j += 512 {
+			pud, pmd, _ := t.Ensure(VAddr(j) << 12)
+			MarkUnsynced(pud, pmd)
+		}
+		b.StartTimer()
+	}
+}
+
+func BenchmarkEntryEncodeDecode(b *testing.B) {
+	var sink Entry
+	for i := 0; i < b.N; i++ {
+		e := MakeLBA(BlockAddr{SID: 1, DeviceID: 2, LBA: uint64(i)}, Prot{Write: true})
+		_ = e.Block()
+		sink |= e
+	}
+	_ = sink
+}

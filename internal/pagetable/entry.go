@@ -1,0 +1,227 @@
+// Package pagetable implements the x86-64-style 4-level page table with the
+// paper's LBA augmentation (Section III-B, Fig. 6, Table I).
+//
+// A PTE is 64 bits. Two bits drive the demand-paging state machine:
+//
+//   - Present (bit 0): the page is mapped to a physical frame.
+//   - LBA (bit 10): on a non-present PTE it means "this PTE holds a logical
+//     block address; a miss is handled by hardware". On a present PTE it
+//     means "the miss was handled by hardware but the OS metadata has not
+//     been synchronized yet" (kpted clears it). On upper-level entries
+//     (PMD/PUD) it marks subtrees that contain such unsynchronized PTEs.
+//
+// When LBA=1 and Present=0, the frame-number field is repurposed to locate
+// a block anywhere in the system: 3-bit socket ID (up to 8 sockets, each
+// with its own SMU), 3-bit device ID (8 NVMe namespaces per socket) and a
+// 41-bit LBA (1 PB at 512 B blocks). 17 bits remain for protection and
+// architectural features, exactly as in the paper.
+package pagetable
+
+import (
+	"fmt"
+
+	"hwdp/internal/mem"
+)
+
+// Entry is one 64-bit page-table entry at any level.
+type Entry uint64
+
+// Bit layout. Low flag bits follow x86; the LBA bit uses bit 10 (one of the
+// ignored bits in real x86 PTEs, the same position the authors' kernel
+// patch used).
+const (
+	FlagPresent  Entry = 1 << 0
+	FlagWrite    Entry = 1 << 1
+	FlagUser     Entry = 1 << 2
+	FlagAccessed Entry = 1 << 5
+	FlagDirty    Entry = 1 << 6
+	FlagHuge     Entry = 1 << 7 // PS bit; reserved, not a first-class feature
+	FlagLBA      Entry = 1 << 10
+	FlagNX       Entry = 1 << 63
+)
+
+const (
+	pfnShift = 12
+	pfnBits  = 40
+	pfnMask  = Entry(((1 << pfnBits) - 1) << pfnShift)
+
+	// LBA-augmented layout (Present=0, LBA=1).
+	lbaShift  = 12
+	lbaBits   = 41
+	lbaMask   = Entry(((1 << lbaBits) - 1)) << lbaShift
+	devShift  = lbaShift + lbaBits // 53
+	devBits   = 3
+	devMask   = Entry((1<<devBits)-1) << devShift
+	sidShift  = devShift + devBits // 56
+	sidBits   = 3
+	sidMask   = Entry((1<<sidBits)-1) << sidShift
+	pkeyShift = 59 // protection key, 4 bits (x86 uses 59..62)
+	pkeyMask  = Entry(0xF) << pkeyShift
+)
+
+// MaxLBA is the largest encodable logical block address.
+const MaxLBA = uint64(1<<lbaBits) - 1
+
+// AnonFirstTouch is the reserved LBA constant marking the first access to
+// an anonymous page (Section V, "Demand Paging Support for Anonymous
+// Page"): the SMU recognizes it and bypasses I/O, installing a zero-filled
+// frame. Ordinary file blocks never use the all-ones LBA.
+const AnonFirstTouch = MaxLBA
+
+// Prot captures page-level permissions preserved across hardware miss
+// handling (the paper: "proper protection bits to preserve page-level
+// permission after its page miss handled in hardware").
+type Prot struct {
+	Write   bool
+	User    bool
+	NoExec  bool
+	ProtKey uint8 // 0..15
+}
+
+func (p Prot) flags() Entry {
+	var e Entry
+	if p.Write {
+		e |= FlagWrite
+	}
+	if p.User {
+		e |= FlagUser
+	}
+	if p.NoExec {
+		e |= FlagNX
+	}
+	e |= Entry(p.ProtKey&0xF) << pkeyShift
+	return e
+}
+
+// Prot extracts the protection bits of an entry.
+func (e Entry) Prot() Prot {
+	return Prot{
+		Write:   e&FlagWrite != 0,
+		User:    e&FlagUser != 0,
+		NoExec:  e&FlagNX != 0,
+		ProtKey: uint8((e & pkeyMask) >> pkeyShift),
+	}
+}
+
+// Present reports the hardware present bit.
+func (e Entry) Present() bool { return e&FlagPresent != 0 }
+
+// LBABit reports the LBA/needs-sync bit.
+func (e Entry) LBABit() bool { return e&FlagLBA != 0 }
+
+// Accessed reports the accessed bit (used by the clock LRU).
+func (e Entry) Accessed() bool { return e&FlagAccessed != 0 }
+
+// Dirty reports the dirty bit.
+func (e Entry) Dirty() bool { return e&FlagDirty != 0 }
+
+// PFN returns the physical frame for a present entry.
+func (e Entry) PFN() mem.FrameID {
+	return mem.FrameID((e & pfnMask) >> pfnShift)
+}
+
+// BlockAddr is the <socket, device, LBA> triple stored in an LBA-augmented
+// PTE; <SID, DeviceID> identifies an NVMe namespace, LBA a block within it.
+type BlockAddr struct {
+	SID      uint8
+	DeviceID uint8
+	LBA      uint64
+}
+
+func (b BlockAddr) String() string {
+	return fmt.Sprintf("sid%d/dev%d/lba%d", b.SID, b.DeviceID, b.LBA)
+}
+
+// Block decodes the block address of an LBA-augmented entry.
+func (e Entry) Block() BlockAddr {
+	return BlockAddr{
+		SID:      uint8((e & sidMask) >> sidShift),
+		DeviceID: uint8((e & devMask) >> devShift),
+		LBA:      uint64((e & lbaMask) >> lbaShift),
+	}
+}
+
+// MakePresent builds a resident PTE pointing at pfn. The synced flag is
+// false for PTEs installed by the SMU (LBA bit left set so kpted finds
+// them) and true for OS-installed PTEs.
+func MakePresent(pfn mem.FrameID, prot Prot, synced bool) Entry {
+	e := FlagPresent | FlagAccessed | prot.flags() | (Entry(pfn)<<pfnShift)&pfnMask
+	if !synced {
+		e |= FlagLBA
+	}
+	return e
+}
+
+// MakeLBA builds a non-present, LBA-augmented PTE (Fig. 6(b)). It panics if
+// the block address exceeds the encodable ranges — always a kernel bug.
+func MakeLBA(b BlockAddr, prot Prot) Entry {
+	if b.LBA > MaxLBA {
+		panic(fmt.Sprintf("pagetable: LBA %d out of range", b.LBA))
+	}
+	if b.SID >= 1<<sidBits || b.DeviceID >= 1<<devBits {
+		panic(fmt.Sprintf("pagetable: bad block addr %v", b))
+	}
+	return FlagLBA | prot.flags() |
+		Entry(b.LBA)<<lbaShift | Entry(b.DeviceID)<<devShift | Entry(b.SID)<<sidShift
+}
+
+// MakeSwap builds a conventional non-present PTE whose miss is handled by
+// the OS (Table I row 1). The payload models a swap offset / page-cache key
+// the OS keeps in non-present PTEs.
+func MakeSwap(payload uint64, prot Prot) Entry {
+	return prot.flags() | (Entry(payload)<<pfnShift)&pfnMask
+}
+
+// SwapPayload returns the OS payload of a conventional non-present PTE.
+func (e Entry) SwapPayload() uint64 { return uint64((e & pfnMask) >> pfnShift) }
+
+// State enumerates Table I of the paper for leaf PTEs.
+type State int
+
+const (
+	// StateNotPresentOS: non-resident, not LBA-augmented; a miss raises a
+	// normal OS page fault.
+	StateNotPresentOS State = iota
+	// StateNotPresentLBA: non-resident, LBA-augmented; a miss is handled by
+	// hardware.
+	StateNotPresentLBA
+	// StateResidentUnsynced: resident; the miss was already handled by
+	// hardware but OS metadata is not updated yet.
+	StateResidentUnsynced
+	// StateResident: resident, identical to a conventional PTE.
+	StateResident
+)
+
+func (s State) String() string {
+	switch s {
+	case StateNotPresentOS:
+		return "not-present/os"
+	case StateNotPresentLBA:
+		return "not-present/lba"
+	case StateResidentUnsynced:
+		return "resident/unsynced"
+	case StateResident:
+		return "resident"
+	}
+	return "unknown"
+}
+
+// State classifies the entry per Table I.
+func (e Entry) State() State {
+	switch {
+	case !e.Present() && !e.LBABit():
+		return StateNotPresentOS
+	case !e.Present() && e.LBABit():
+		return StateNotPresentLBA
+	case e.Present() && e.LBABit():
+		return StateResidentUnsynced
+	default:
+		return StateResident
+	}
+}
+
+// WithFlags returns the entry with the given flag bits set.
+func (e Entry) WithFlags(f Entry) Entry { return e | f }
+
+// ClearFlags returns the entry with the given flag bits cleared.
+func (e Entry) ClearFlags(f Entry) Entry { return e &^ f }

@@ -1,0 +1,189 @@
+package pagetable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hwdp/internal/mem"
+)
+
+func TestPresentEntryRoundTrip(t *testing.T) {
+	prot := Prot{Write: true, User: true, NoExec: true, ProtKey: 7}
+	e := MakePresent(mem.FrameID(0x12345), prot, true)
+	if !e.Present() || e.LBABit() {
+		t.Fatalf("flags wrong: %#x", uint64(e))
+	}
+	if e.PFN() != 0x12345 {
+		t.Fatalf("pfn = %#x", uint64(e.PFN()))
+	}
+	if got := e.Prot(); got != prot {
+		t.Fatalf("prot = %+v", got)
+	}
+	if e.State() != StateResident {
+		t.Fatalf("state = %v", e.State())
+	}
+}
+
+func TestUnsyncedPresentEntry(t *testing.T) {
+	e := MakePresent(42, Prot{}, false)
+	if e.State() != StateResidentUnsynced {
+		t.Fatalf("state = %v", e.State())
+	}
+	e = e.ClearFlags(FlagLBA)
+	if e.State() != StateResident {
+		t.Fatalf("after sync: %v", e.State())
+	}
+	if e.PFN() != 42 {
+		t.Fatal("sync clobbered pfn")
+	}
+}
+
+func TestLBAEntryRoundTrip(t *testing.T) {
+	b := BlockAddr{SID: 5, DeviceID: 3, LBA: 0x1_2345_6789}
+	prot := Prot{Write: true, ProtKey: 12}
+	e := MakeLBA(b, prot)
+	if e.Present() || !e.LBABit() {
+		t.Fatalf("flags: %#x", uint64(e))
+	}
+	if got := e.Block(); got != b {
+		t.Fatalf("block = %v, want %v", got, b)
+	}
+	if got := e.Prot(); got != prot {
+		t.Fatalf("prot = %+v", got)
+	}
+	if e.State() != StateNotPresentLBA {
+		t.Fatalf("state = %v", e.State())
+	}
+}
+
+func TestLBAEntryPropertyRoundTrip(t *testing.T) {
+	f := func(sid, dev uint8, lba uint64, w, u, nx bool, pk uint8) bool {
+		b := BlockAddr{SID: sid % 8, DeviceID: dev % 8, LBA: lba % (MaxLBA + 1)}
+		p := Prot{Write: w, User: u, NoExec: nx, ProtKey: pk % 16}
+		e := MakeLBA(b, p)
+		return e.Block() == b && e.Prot() == p && e.State() == StateNotPresentLBA
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPresentEntryPropertyRoundTrip(t *testing.T) {
+	f := func(pfn uint64, w, u, nx bool, pk uint8, synced bool) bool {
+		pfn %= 1 << 40
+		p := Prot{Write: w, User: u, NoExec: nx, ProtKey: pk % 16}
+		e := MakePresent(mem.FrameID(pfn), p, synced)
+		wantState := StateResident
+		if !synced {
+			wantState = StateResidentUnsynced
+		}
+		return uint64(e.PFN()) == pfn && e.Prot() == p && e.State() == wantState
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakeLBAPanicsOnOverflow(t *testing.T) {
+	for _, b := range []BlockAddr{
+		{LBA: MaxLBA + 1},
+		{SID: 8},
+		{DeviceID: 8},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MakeLBA(%v) should panic", b)
+				}
+			}()
+			MakeLBA(b, Prot{})
+		}()
+	}
+}
+
+func TestSwapEntry(t *testing.T) {
+	e := MakeSwap(0xABCD, Prot{User: true})
+	if e.State() != StateNotPresentOS {
+		t.Fatalf("state = %v", e.State())
+	}
+	if e.SwapPayload() != 0xABCD {
+		t.Fatalf("payload = %#x", e.SwapPayload())
+	}
+}
+
+// TestTableISemantics exhaustively checks the paper's Table I for leaf PTEs.
+func TestTableISemantics(t *testing.T) {
+	cases := []struct {
+		lba, present bool
+		want         State
+	}{
+		{false, false, StateNotPresentOS},
+		{true, false, StateNotPresentLBA},
+		{true, true, StateResidentUnsynced},
+		{false, true, StateResident},
+	}
+	for _, c := range cases {
+		var e Entry
+		if c.lba {
+			e |= FlagLBA
+		}
+		if c.present {
+			e |= FlagPresent
+		}
+		if got := e.State(); got != c.want {
+			t.Errorf("lba=%v present=%v: state = %v, want %v", c.lba, c.present, got, c.want)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		StateNotPresentOS:     "not-present/os",
+		StateNotPresentLBA:    "not-present/lba",
+		StateResidentUnsynced: "resident/unsynced",
+		StateResident:         "resident",
+		State(99):             "unknown",
+	} {
+		if s.String() != want {
+			t.Errorf("State(%d) = %q", s, s.String())
+		}
+	}
+}
+
+func TestAccessedDirtyFlags(t *testing.T) {
+	e := MakePresent(1, Prot{}, true)
+	if !e.Accessed() {
+		t.Fatal("new mapping should start accessed")
+	}
+	e = e.ClearFlags(FlagAccessed)
+	if e.Accessed() {
+		t.Fatal("clear accessed failed")
+	}
+	e = e.WithFlags(FlagDirty)
+	if !e.Dirty() {
+		t.Fatal("dirty not set")
+	}
+}
+
+func TestBlockAddrString(t *testing.T) {
+	s := BlockAddr{SID: 1, DeviceID: 2, LBA: 3}.String()
+	if s != "sid1/dev2/lba3" {
+		t.Fatalf("string = %q", s)
+	}
+}
+
+func TestFieldsDoNotOverlap(t *testing.T) {
+	// Setting a maximal LBA entry must not bleed into flag bits.
+	e := MakeLBA(BlockAddr{SID: 7, DeviceID: 7, LBA: MaxLBA}, Prot{})
+	if e.Present() {
+		t.Fatal("LBA payload set present bit")
+	}
+	if e&FlagAccessed != 0 || e&FlagDirty != 0 || e&FlagHuge != 0 {
+		t.Fatalf("payload bled into flags: %#x", uint64(e))
+	}
+	// And a maximal PFN must not bleed into NX or pkey.
+	p := MakePresent(mem.FrameID(1<<40-1), Prot{}, true)
+	if p.Prot().NoExec || p.Prot().ProtKey != 0 {
+		t.Fatalf("pfn bled into high bits: %#x", uint64(p))
+	}
+}

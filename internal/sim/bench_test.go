@@ -1,0 +1,48 @@
+package sim
+
+import "testing"
+
+func BenchmarkEngineScheduleAndFire(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%1000), func() {})
+		if e.Pending() > 1024 {
+			for e.Step() {
+			}
+		}
+	}
+	e.Run()
+}
+
+func BenchmarkEngineNestedChain(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(100, tick)
+		}
+	}
+	e.At(0, tick)
+	e.Run()
+}
+
+func BenchmarkRandUint64(b *testing.B) {
+	r := NewRand(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkRandNorm(b *testing.B) {
+	r := NewRand(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Norm(10, 2)
+	}
+	_ = sink
+}

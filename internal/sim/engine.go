@@ -1,0 +1,140 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback. Events with equal times fire in the order
+// they were scheduled (stable FIFO tie-break), which keeps runs
+// deterministic.
+type Event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	idx  int
+	dead bool
+}
+
+// Cancel prevents a pending event from firing. Canceling an event that has
+// already fired (or was already canceled) is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.dead = true
+	}
+}
+
+// Pending reports whether the event is still scheduled to fire.
+func (e *Event) Pending() bool { return e != nil && !e.dead && e.idx >= 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It owns the virtual
+// clock; all model components schedule work on it and must only be touched
+// from event callbacks (or before Run).
+type Engine struct {
+	now   Time
+	seq   uint64
+	queue eventHeap
+	fired uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far (useful for progress
+// accounting and run limits in tests).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (t < Now) clamps to Now: the event fires on the current timestep, after
+// already-pending events for that time.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) *Event { return e.At(e.now+d, fn) }
+
+// Step fires the next pending event, advancing the clock to its timestamp.
+// It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events until the queue drains or the clock would pass
+// deadline. Events scheduled exactly at deadline still fire. It returns the
+// clock value on exit.
+func (e *Engine) RunUntil(deadline Time) Time {
+	for len(e.queue) > 0 {
+		// Peek: heap root is the earliest live event, but the root may be
+		// dead; Step handles skipping, so pre-check only live roots.
+		if e.queue[0].at > deadline {
+			if e.queue[0].dead {
+				heap.Pop(&e.queue)
+				continue
+			}
+			break
+		}
+		if !e.Step() {
+			break
+		}
+	}
+	if e.now < deadline && len(e.queue) == 0 {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Pending returns the number of events in the queue, including canceled
+// events not yet collected.
+func (e *Engine) Pending() int { return len(e.queue) }

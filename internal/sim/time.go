@@ -1,0 +1,79 @@
+// Package sim provides the discrete-event simulation substrate shared by
+// every other module: a picosecond-resolution virtual clock, an event queue,
+// and a deterministic random number generator.
+//
+// All latencies in the system are expressed as sim.Time (int64 picoseconds).
+// One CPU cycle at the modeled 2.8 GHz clock is 357 ps, so cycle-level
+// quantities from the paper (e.g. the 97-cycle page-table update in
+// Fig. 11(b)) convert exactly.
+package sim
+
+import "fmt"
+
+// Time is a point in (or duration of) virtual time, in picoseconds.
+type Time int64
+
+// Common duration units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// DefaultClockHz is the modeled CPU frequency (Intel Xeon E5-2640 v3,
+// Table II of the paper).
+const DefaultClockHz = 2_800_000_000
+
+// CyclePS is the duration of one CPU cycle in picoseconds at DefaultClockHz,
+// rounded to the nearest picosecond (357 ps).
+const CyclePS = Time(1_000_000_000_000 / DefaultClockHz)
+
+// Cycles converts a CPU-cycle count into a duration at the default clock.
+func Cycles(n int64) Time { return Time(n) * CyclePS }
+
+// ToCycles converts a duration into CPU cycles at the default clock,
+// rounding to nearest.
+func (t Time) ToCycles() int64 {
+	if t < 0 {
+		return -((-t + CyclePS/2) / CyclePS).int64()
+	}
+	return ((t + CyclePS/2) / CyclePS).int64()
+}
+
+func (t Time) int64() int64 { return int64(t) }
+
+// Nanos returns the duration in (fractional) nanoseconds.
+func (t Time) Nanos() float64 { return float64(t) / float64(Nanosecond) }
+
+// Micros returns the duration in (fractional) microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Seconds returns the duration in (fractional) seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micro builds a duration from fractional microseconds. It is the idiomatic
+// constructor for calibration constants quoted in µs by the paper.
+func Micro(us float64) Time { return Time(us * float64(Microsecond)) }
+
+// Nano builds a duration from fractional nanoseconds.
+func Nano(ns float64) Time { return Time(ns * float64(Nanosecond)) }
+
+// String renders the time with an adaptive unit, for logs and test output.
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return "-" + (-t).String()
+	case t < Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case t < Microsecond:
+		return fmt.Sprintf("%.2fns", t.Nanos())
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fus", t.Micros())
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	}
+}

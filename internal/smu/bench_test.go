@@ -1,0 +1,58 @@
+package smu
+
+import (
+	"testing"
+
+	"hwdp/internal/mem"
+	"hwdp/internal/nvme"
+	"hwdp/internal/pagetable"
+	"hwdp/internal/sim"
+	"hwdp/internal/ssd"
+)
+
+// BenchmarkHandleMiss measures simulator throughput for the full hardware
+// miss path (SMU + device model), in simulated misses per wall second.
+func BenchmarkHandleMiss(b *testing.B) {
+	eng := sim.NewEngine()
+	prof := ssd.ZSSD
+	prof.JitterFrac = 0
+	dev := ssd.New(eng, prof, sim.NewRand(1), nil)
+	dev.AddNamespace(nvme.Namespace{ID: 1, Blocks: 1 << 30})
+	s := New(eng, 0, 1<<16)
+	qp := nvme.NewQueuePair(1, 2*PMSHREntries)
+	s.AttachDevice(0, dev, qp, 1)
+	tbl := pagetable.New()
+	recs := make([]FrameRecord, 0, 1024)
+	for i := 0; i < 1024; i++ {
+		recs = append(recs, RecordFor(mem.FrameID(i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.FreeQueue().Len()+s.FreeQueue().Buffered() < 8 {
+			s.Refill(recs)
+		}
+		va := pagetable.VAddr(uint64(i)%(1<<30)) << 12
+		pud, pmd, pte := tbl.Ensure(va)
+		blk := pagetable.BlockAddr{LBA: uint64(i)}
+		pte.Set(pagetable.MakeLBA(blk, pagetable.Prot{}))
+		done := false
+		s.HandleMiss(Request{PUD: pud, PMD: pmd, PTE: pte, Block: blk},
+			func(Result, pagetable.Entry) { done = true })
+		for !done && eng.Step() {
+		}
+	}
+}
+
+func BenchmarkFreeQueuePop(b *testing.B) {
+	q := NewFreeQueue(1<<12, 16)
+	recs := make([]FrameRecord, 1<<11)
+	for i := range recs {
+		recs[i] = RecordFor(mem.FrameID(i))
+	}
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := q.Pop(); !ok {
+			q.Push(recs)
+			q.Prefetch()
+		}
+	}
+}

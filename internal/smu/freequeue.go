@@ -1,0 +1,113 @@
+package smu
+
+import "hwdp/internal/mem"
+
+// FrameRecord is one entry of the free page queue: a physical frame number
+// and the DMA address the NVMe command will target (paper: "a circular
+// queue residing in memory containing a set of <PFN, DMA address> pairs").
+type FrameRecord struct {
+	PFN mem.FrameID
+	DMA uint64
+}
+
+// RecordFor builds the record for a frame (DMA address = frame base).
+func RecordFor(pfn mem.FrameID) FrameRecord {
+	return FrameRecord{PFN: pfn, DMA: uint64(pfn) * mem.PageSize}
+}
+
+// FreeQueue is the in-memory free page queue plus the SMU's small prefetch
+// buffer. It is single-producer (the OS page-refill path / kpoold) and
+// single-consumer (the SMU's free page fetcher), so no synchronization is
+// modeled — exactly the paper's design. The hardware eagerly prefetches a
+// few entries into the SMU so the common-case fetch does not expose a
+// memory round trip.
+type FreeQueue struct {
+	ring  []FrameRecord
+	head  int // consumer index (hardware register)
+	tail  int // producer index (hardware register)
+	depth int
+
+	buf     []FrameRecord // prefetch buffer inside the SMU
+	bufCap  int
+	pops    uint64
+	refills uint64
+}
+
+// NewFreeQueue creates a queue with the given ring depth and prefetch
+// buffer capacity (the paper's prototype: depth 4096, buffer 16).
+func NewFreeQueue(depth, bufCap int) *FreeQueue {
+	if depth < 2 || bufCap < 1 {
+		panic("smu: bad free queue geometry")
+	}
+	return &FreeQueue{ring: make([]FrameRecord, depth), depth: depth, bufCap: bufCap}
+}
+
+// Depth returns the ring capacity (one slot reserved to distinguish full
+// from empty).
+func (q *FreeQueue) Depth() int { return q.depth - 1 }
+
+// Len returns the number of records in the ring (excluding the prefetch
+// buffer).
+func (q *FreeQueue) Len() int { return (q.tail - q.head + q.depth) % q.depth }
+
+// Buffered returns the number of records in the prefetch buffer.
+func (q *FreeQueue) Buffered() int { return len(q.buf) }
+
+// Space returns how many records the producer can still push.
+func (q *FreeQueue) Space() int { return q.Depth() - q.Len() }
+
+// Push appends records (producer side). It returns the number actually
+// enqueued (stops when the ring is full).
+func (q *FreeQueue) Push(recs []FrameRecord) int {
+	n := 0
+	for _, r := range recs {
+		if (q.tail+1)%q.depth == q.head {
+			break
+		}
+		q.ring[q.tail] = r
+		q.tail = (q.tail + 1) % q.depth
+		n++
+	}
+	if n > 0 {
+		q.refills++
+	}
+	return n
+}
+
+// Prefetch moves up to the buffer capacity of records from the ring into
+// the SMU-internal buffer. Hardware runs this opportunistically (e.g.
+// during device I/O time); the model invokes it at miss-handling
+// completion and at refill.
+func (q *FreeQueue) Prefetch() {
+	for len(q.buf) < q.bufCap && q.head != q.tail {
+		q.buf = append(q.buf, q.ring[q.head])
+		q.head = (q.head + 1) % q.depth
+	}
+}
+
+// Pop takes one record, preferring the prefetch buffer. fromBuffer reports
+// whether the fast path was hit (no memory round trip); ok is false when
+// both the buffer and the ring are empty — the case where the SMU fails
+// the miss back to the OS.
+func (q *FreeQueue) Pop() (rec FrameRecord, fromBuffer, ok bool) {
+	if len(q.buf) > 0 {
+		rec = q.buf[0]
+		q.buf = q.buf[1:]
+		q.pops++
+		return rec, true, true
+	}
+	if q.head == q.tail {
+		return FrameRecord{}, false, false
+	}
+	rec = q.ring[q.head]
+	q.head = (q.head + 1) % q.depth
+	q.pops++
+	return rec, false, true
+}
+
+// Pops returns the cumulative successful pop count.
+func (q *FreeQueue) Pops() uint64 { return q.pops }
+
+// Refills returns the number of Push calls that enqueued at least one
+// record.
+func (q *FreeQueue) Refills() uint64 { return q.refills }

@@ -1,0 +1,128 @@
+package smu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hwdp/internal/mem"
+)
+
+func recs(n int, base uint64) []FrameRecord {
+	out := make([]FrameRecord, n)
+	for i := range out {
+		out[i] = RecordFor(mem.FrameID(base + uint64(i)))
+	}
+	return out
+}
+
+func TestRecordFor(t *testing.T) {
+	r := RecordFor(5)
+	if r.PFN != 5 || r.DMA != 5*mem.PageSize {
+		t.Fatalf("record = %+v", r)
+	}
+}
+
+func TestFreeQueuePushPop(t *testing.T) {
+	q := NewFreeQueue(8, 4)
+	if q.Depth() != 7 || q.Space() != 7 {
+		t.Fatalf("depth=%d space=%d", q.Depth(), q.Space())
+	}
+	if n := q.Push(recs(5, 0)); n != 5 {
+		t.Fatalf("pushed %d", n)
+	}
+	if q.Len() != 5 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	// First pop without prefetch exposes a memory round trip.
+	r, fromBuf, ok := q.Pop()
+	if !ok || fromBuf || r.PFN != 0 {
+		t.Fatalf("pop = %+v buf=%v ok=%v", r, fromBuf, ok)
+	}
+	q.Prefetch()
+	if q.Buffered() != 4 {
+		t.Fatalf("buffered = %d", q.Buffered())
+	}
+	r, fromBuf, ok = q.Pop()
+	if !ok || !fromBuf || r.PFN != 1 {
+		t.Fatalf("buffered pop = %+v buf=%v", r, fromBuf)
+	}
+}
+
+func TestFreeQueueOverflowTruncates(t *testing.T) {
+	q := NewFreeQueue(4, 2)
+	if n := q.Push(recs(10, 0)); n != 3 {
+		t.Fatalf("accepted %d, want 3", n)
+	}
+	if q.Space() != 0 {
+		t.Fatalf("space = %d", q.Space())
+	}
+}
+
+func TestFreeQueueEmptyPop(t *testing.T) {
+	q := NewFreeQueue(4, 2)
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("pop of empty queue succeeded")
+	}
+	q.Push(recs(1, 7))
+	q.Prefetch()
+	if _, _, ok := q.Pop(); !ok {
+		t.Fatal("pop after push failed")
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("queue should be drained")
+	}
+}
+
+func TestFreeQueueBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewFreeQueue(1, 0)
+}
+
+func TestFreeQueueCounts(t *testing.T) {
+	q := NewFreeQueue(16, 4)
+	q.Push(recs(3, 0))
+	q.Push(recs(0, 0)) // empty push: not a refill
+	for i := 0; i < 3; i++ {
+		q.Pop()
+	}
+	if q.Pops() != 3 || q.Refills() != 1 {
+		t.Fatalf("pops=%d refills=%d", q.Pops(), q.Refills())
+	}
+}
+
+// Property: FIFO order and conservation across arbitrary push/pop/prefetch
+// interleavings.
+func TestFreeQueueFIFOProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		q := NewFreeQueue(32, 4)
+		next := uint64(0)   // next PFN to push
+		expect := uint64(0) // next PFN a pop must return
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				n := q.Push(recs(int(op%5), next))
+				next += uint64(n)
+			case 1:
+				q.Prefetch()
+			case 2:
+				if r, _, ok := q.Pop(); ok {
+					if uint64(r.PFN) != expect {
+						return false
+					}
+					expect++
+				}
+			}
+			if q.Len()+q.Buffered() != int(next-expect) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

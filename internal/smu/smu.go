@@ -1,0 +1,473 @@
+// Package smu implements the Storage Management Unit — the paper's key
+// architectural extension (Section III-C). The SMU receives page-miss
+// requests from the MMU (the addresses of the PUD, PMD and PTE entries plus
+// the device ID and LBA), coalesces duplicates in the PMSHR, takes a frame
+// from the free page queue, drives the NVMe host controller to fetch the
+// block, updates the page-table entries in hardware, and broadcasts
+// completion so stalled page-table walks resume — all without raising an
+// exception.
+package smu
+
+import (
+	"fmt"
+
+	"hwdp/internal/nvme"
+	"hwdp/internal/pagetable"
+	"hwdp/internal/sim"
+	"hwdp/internal/ssd"
+)
+
+// PMSHREntries is the number of page-miss status holding registers; it
+// bounds the SMU's concurrent outstanding I/O (the prototype's empirically
+// chosen 32).
+const PMSHREntries = 32
+
+// PrefetchBufEntries is the free-page prefetch buffer capacity (16 <PFN,
+// DMA address> pairs, Section VI-D).
+const PrefetchBufEntries = 16
+
+// Result is the outcome of a hardware page-miss handling attempt.
+type Result int
+
+// Results. ResultNoFreePage sends the miss back to the OS fault handler,
+// which also refills the free page queue.
+const (
+	ResultOK Result = iota
+	ResultNoFreePage
+	ResultIOError
+)
+
+func (r Result) String() string {
+	switch r {
+	case ResultOK:
+		return "ok"
+	case ResultNoFreePage:
+		return "no-free-page"
+	case ResultIOError:
+		return "io-error"
+	}
+	return "?"
+}
+
+// Request is a page-miss handling request from the MMU: "the addresses of
+// the three entries (PUD entry, PMD entry, and PTE), device ID, and LBA".
+// Core identifies the requesting logical core when the SMU runs per-core
+// free page queues (Section V future work); with the default single queue
+// it is ignored.
+type Request struct {
+	PUD, PMD, PTE pagetable.EntryRef
+	Block         pagetable.BlockAddr
+	Prot          pagetable.Prot
+	Core          int
+}
+
+// DoneFunc receives the handling outcome and, on success, the new PTE
+// value (the broadcast payload: "the PTE address, the value of the PTE,
+// and the result of the page miss handling").
+type DoneFunc func(res Result, pte pagetable.Entry)
+
+// TraceFunc observes the per-phase latencies of miss handling, used to
+// regenerate the Fig. 11(b) timeline.
+type TraceFunc func(phase string, dur sim.Time)
+
+// Stats are the SMU's event counters.
+type Stats struct {
+	Handled      uint64 // misses fully handled in hardware
+	Coalesced    uint64 // duplicate requests merged into an existing entry
+	NoFreePage   uint64 // failures bounced to the OS
+	IOErrors     uint64
+	Backlogged   uint64 // requests that waited for a PMSHR slot
+	BufferMisses uint64 // free-page pops that exposed a memory round trip
+	AnonZeroFill uint64 // first-touch anonymous misses served without I/O
+	LateHits     uint64 // requests whose PTE resolved before admission
+}
+
+type pmshrEntry struct {
+	idx     int
+	pteAddr pagetable.EntryAddr
+	req     Request
+	frame   FrameRecord
+	waiters []DoneFunc
+}
+
+type devSlot struct {
+	qp   *nvme.QueuePair
+	dev  *ssd.Device
+	nsid uint32
+}
+
+type backlogItem struct {
+	req  Request
+	done DoneFunc
+}
+
+type barrier struct {
+	waiting map[pagetable.EntryAddr]bool
+	done    func()
+}
+
+// SMU is one per-socket storage management unit.
+type SMU struct {
+	SID     uint8
+	eng     *sim.Engine
+	timing  Timing
+	entries int
+
+	pmshr    map[pagetable.EntryAddr]*pmshrEntry
+	byCID    map[uint16]*pmshrEntry
+	freeIdx  []int
+	backlog  []backlogItem
+	freeqs   []*FreeQueue // one, or one per logical core
+	devs     [8]*devSlot
+	stats    Stats
+	barriers []*barrier
+
+	// Tracer, when set, observes each handling phase (single-miss
+	// experiments).
+	Tracer TraceFunc
+}
+
+// New builds an SMU with the given free-page-queue ring depth and the
+// prototype's 32 PMSHR entries.
+func New(eng *sim.Engine, sid uint8, freeQueueDepth int) *SMU {
+	return NewWithEntries(eng, sid, freeQueueDepth, PMSHREntries)
+}
+
+// NewWithEntries builds an SMU with a custom PMSHR size (the design-space
+// ablation sweeps it; the prototype "empirically chooses 32 entries").
+func NewWithEntries(eng *sim.Engine, sid uint8, freeQueueDepth, entries int) *SMU {
+	if entries < 1 {
+		panic("smu: need at least one PMSHR entry")
+	}
+	return NewPerCore(eng, sid, freeQueueDepth, entries, 1)
+}
+
+// NewPerCore builds an SMU with one free page queue per logical core
+// (cores > 1) — the paper's Section V option for enforcing per-thread
+// memory-management policy. The ring depth is split evenly.
+func NewPerCore(eng *sim.Engine, sid uint8, freeQueueDepth, entries, cores int) *SMU {
+	if entries < 1 {
+		panic("smu: need at least one PMSHR entry")
+	}
+	if cores < 1 {
+		panic("smu: need at least one free page queue")
+	}
+	s := &SMU{
+		SID:     sid,
+		eng:     eng,
+		timing:  DefaultTiming(),
+		entries: entries,
+		pmshr:   make(map[pagetable.EntryAddr]*pmshrEntry),
+		byCID:   make(map[uint16]*pmshrEntry),
+	}
+	per := freeQueueDepth / cores
+	if per < 2 {
+		per = 2
+	}
+	for i := 0; i < cores; i++ {
+		s.freeqs = append(s.freeqs, NewFreeQueue(per, PrefetchBufEntries))
+	}
+	for i := entries - 1; i >= 0; i-- {
+		s.freeIdx = append(s.freeIdx, i)
+	}
+	return s
+}
+
+// queueFor picks the free page queue serving a core.
+func (s *SMU) queueFor(core int) *FreeQueue {
+	if core < 0 {
+		core = 0
+	}
+	return s.freeqs[core%len(s.freeqs)]
+}
+
+// Queues returns the per-core free page queues (length 1 for the default
+// global-queue configuration).
+func (s *SMU) Queues() []*FreeQueue { return s.freeqs }
+
+// Entries returns the PMSHR size.
+func (s *SMU) Entries() int { return s.entries }
+
+// Timing returns the component latency model.
+func (s *SMU) Timing() Timing { return s.timing }
+
+// Stats returns a copy of the counters.
+func (s *SMU) Stats() Stats { return s.stats }
+
+// FreeQueue exposes the first free page queue (the only one in the default
+// configuration).
+func (s *SMU) FreeQueue() *FreeQueue { return s.freeqs[0] }
+
+// Refill pushes frame records into the first free page queue (producer
+// side: the OS page-refill routine or kpoold) and lets the hardware
+// eagerly prefetch. It returns how many records were accepted.
+func (s *SMU) Refill(recs []FrameRecord) int { return s.RefillCore(0, recs) }
+
+// RefillCore pushes frame records into one core's free page queue.
+func (s *SMU) RefillCore(core int, recs []FrameRecord) int {
+	q := s.queueFor(core)
+	n := q.Push(recs)
+	q.Prefetch()
+	return n
+}
+
+// Outstanding returns the number of in-flight hardware-handled misses.
+func (s *SMU) Outstanding() int { return len(s.pmshr) }
+
+// AttachDevice initializes one set of NVMe queue descriptor registers for a
+// block device: the isolated queue pair the OS allocated, the device it
+// belongs to, and the namespace to address. Interrupts are disabled on the
+// pair; completions arrive via the completion unit's memory snoop.
+func (s *SMU) AttachDevice(devID uint8, dev *ssd.Device, qp *nvme.QueuePair, nsid uint32) {
+	if devID >= 8 {
+		panic(fmt.Sprintf("smu: device ID %d out of range", devID))
+	}
+	if s.devs[devID] != nil {
+		panic(fmt.Sprintf("smu: device %d already attached", devID))
+	}
+	qp.InterruptsEnabled = false
+	slot := &devSlot{qp: qp, dev: dev, nsid: nsid}
+	s.devs[devID] = slot
+	dev.Attach(qp, func(cp nvme.Completion) { s.onSnoop(slot, cp) })
+}
+
+func (s *SMU) trace(phase string, dur sim.Time) {
+	if s.Tracer != nil {
+		s.Tracer(phase, dur)
+	}
+}
+
+// HandleMiss processes one page-miss request. done is invoked (in virtual
+// time) when handling concludes; for coalesced requests it is invoked when
+// the original miss completes.
+func (s *SMU) HandleMiss(req Request, done DoneFunc) {
+	t := s.timing
+	lookupCost := 2*t.ReqRegWrite + t.CAMLookup
+	s.trace("request regs + CAM lookup", lookupCost)
+	s.eng.After(lookupCost, func() { s.admit(req, done) })
+}
+
+func (s *SMU) admit(req Request, done DoneFunc) {
+	addr := req.PTE.Addr()
+	if e, dup := s.pmshr[addr]; dup {
+		// Outstanding miss to the same page: coalesce; the pending walk
+		// resumes on the broadcast.
+		e.waiters = append(e.waiters, done)
+		s.stats.Coalesced++
+		return
+	}
+	if cur := req.PTE.Get(); cur.Present() {
+		// The miss resolved between the requester's page-table walk and
+		// this lookup (the original PMSHR entry already retired). Reading
+		// the PTE — which the page-table updater does anyway — catches the
+		// race; answer with the installed translation instead of fetching
+		// a duplicate frame (which would alias the page).
+		s.stats.LateHits++
+		s.eng.After(s.timing.Notify, func() { done(ResultOK, cur) })
+		return
+	}
+
+	if len(s.freeIdx) == 0 {
+		// All PMSHRs busy: the walk stays pending until a slot frees.
+		s.backlog = append(s.backlog, backlogItem{req, done})
+		s.stats.Backlogged++
+		return
+	}
+
+	if req.Block.LBA == pagetable.AnonFirstTouch {
+		s.admitAnon(req, done)
+		return
+	}
+
+	dev := s.devs[req.Block.DeviceID]
+	if dev == nil {
+		s.stats.IOErrors++
+		s.eng.After(s.timing.Notify, func() { done(ResultIOError, 0) })
+		return
+	}
+
+	freeq := s.queueFor(req.Core)
+	rec, fromBuf, ok := freeq.Pop()
+	if !ok {
+		// Free page queue empty: invalidate and fail to the OS, which
+		// handles the fault and refills the queue.
+		s.stats.NoFreePage++
+		s.eng.After(s.timing.Notify, func() { done(ResultNoFreePage, 0) })
+		return
+	}
+	fetchCost := s.timing.FreePageHit
+	if !fromBuf {
+		fetchCost = s.timing.FreePageMem
+		s.stats.BufferMisses++
+	}
+	s.trace("free page fetch", fetchCost)
+
+	idx := s.freeIdx[len(s.freeIdx)-1]
+	s.freeIdx = s.freeIdx[:len(s.freeIdx)-1]
+	e := &pmshrEntry{idx: idx, pteAddr: addr, req: req, frame: rec, waiters: []DoneFunc{done}}
+	s.pmshr[addr] = e
+	s.byCID[uint16(idx)] = e
+
+	t := s.timing
+	s.trace("PMSHR write", t.PMSHRWrite)
+	s.trace("NVMe cmd write", t.CmdWrite)
+	s.trace("SQ doorbell", t.Doorbell)
+	issueCost := fetchCost + t.PMSHRWrite + t.CmdWrite
+	s.eng.After(issueCost, func() {
+		cmd := nvme.Command{
+			Opcode: nvme.OpRead,
+			CID:    uint16(idx),
+			NSID:   dev.nsid,
+			PRP1:   rec.DMA,
+			SLBA:   req.Block.LBA,
+			NLB:    0, // one 4 KiB block, no PRP list
+		}
+		if err := dev.qp.Submit(cmd); err != nil {
+			// Isolated queue sized to PMSHR depth: overflow is a model bug.
+			panic(fmt.Sprintf("smu: submit failed: %v", err))
+		}
+		s.eng.After(t.Doorbell, func() {
+			dev.dev.RingSQDoorbell(dev.qp.ID)
+			// Opportunistically refill the prefetch buffer during the
+			// device I/O time — this is what hides the memory latency of
+			// free-page fetches.
+			freeq.Prefetch()
+		})
+	})
+}
+
+// admitAnon serves a first-touch anonymous miss: the reserved LBA constant
+// tells the SMU to bypass I/O entirely (Section V). A zero-filled frame
+// from the free page queue is installed directly; the whole miss costs a
+// handful of cycles instead of a device access.
+func (s *SMU) admitAnon(req Request, done DoneFunc) {
+	freeq := s.queueFor(req.Core)
+	rec, fromBuf, ok := freeq.Pop()
+	if !ok {
+		s.stats.NoFreePage++
+		s.eng.After(s.timing.Notify, func() { done(ResultNoFreePage, 0) })
+		return
+	}
+	fetchCost := s.timing.FreePageHit
+	if !fromBuf {
+		fetchCost = s.timing.FreePageMem
+		s.stats.BufferMisses++
+	}
+	// Occupy a PMSHR entry for the handful of cycles the fill takes so
+	// that a concurrent duplicate miss coalesces instead of claiming a
+	// second frame (no page aliases, same as the I/O path).
+	addr := req.PTE.Addr()
+	idx := s.freeIdx[len(s.freeIdx)-1]
+	s.freeIdx = s.freeIdx[:len(s.freeIdx)-1]
+	e := &pmshrEntry{idx: idx, pteAddr: addr, req: req, frame: rec, waiters: []DoneFunc{done}}
+	s.pmshr[addr] = e
+	s.byCID[uint16(idx)] = e
+
+	t := s.timing
+	s.trace("free page fetch", fetchCost)
+	s.trace("PT update", t.PTUpdate)
+	s.trace("notify MMU", t.Notify)
+	s.eng.After(fetchCost+t.PMSHRWrite+t.PTUpdate+t.Notify, func() {
+		pte := pagetable.MakePresent(rec.PFN, req.Prot, false)
+		req.PTE.Set(pte)
+		pagetable.MarkUnsynced(req.PUD, req.PMD)
+		s.stats.AnonZeroFill++
+		s.stats.Handled++
+		s.finish(e, ResultOK, pte)
+		freeq.Prefetch()
+	})
+}
+
+// onSnoop is the completion unit: it watches memory writes from the PCIe
+// root complex at CQ base + head, handles the CQ protocol, updates the page
+// table and broadcasts.
+func (s *SMU) onSnoop(dev *devSlot, _ nvme.Completion) {
+	t := s.timing
+	s.trace("CQ handle", t.CQHandle)
+	s.eng.After(t.CQHandle, func() {
+		cp, ok := dev.qp.PollCQ()
+		if !ok {
+			return // spurious snoop
+		}
+		dev.qp.ConsumeCQ()
+		e, ok := s.byCID[cp.CID]
+		if !ok {
+			return
+		}
+		if !cp.OK() {
+			s.stats.IOErrors++
+			s.finish(e, ResultIOError, 0)
+			return
+		}
+		s.trace("PT update", t.PTUpdate)
+		s.eng.After(t.PTUpdate, func() {
+			// Replace the LBA field with the PFN; leave the PTE's LBA bit
+			// set so kpted later updates OS metadata, and mark the upper
+			// levels.
+			pte := pagetable.MakePresent(e.frame.PFN, e.req.Prot, false)
+			e.req.PTE.Set(pte)
+			pagetable.MarkUnsynced(e.req.PUD, e.req.PMD)
+			s.trace("notify MMU", t.Notify)
+			s.eng.After(t.Notify, func() {
+				s.stats.Handled++
+				s.finish(e, ResultOK, pte)
+			})
+		})
+	})
+}
+
+func (s *SMU) finish(e *pmshrEntry, res Result, pte pagetable.Entry) {
+	delete(s.pmshr, e.pteAddr)
+	delete(s.byCID, uint16(e.idx))
+	s.freeIdx = append(s.freeIdx, e.idx)
+	for _, w := range e.waiters {
+		w(res, pte)
+	}
+	s.checkBarriers(e.pteAddr)
+	// Admit one backlogged request per freed slot.
+	if len(s.backlog) > 0 {
+		item := s.backlog[0]
+		s.backlog = s.backlog[1:]
+		s.admit(item.req, item.done)
+	}
+}
+
+// Barrier invokes done once no outstanding miss references any of the given
+// PTE addresses — the "SMU barrier" the modified munmap()/msync() issue
+// before unmapping (Section IV-C). With no matching outstanding misses it
+// fires immediately (same timestep).
+func (s *SMU) Barrier(addrs []pagetable.EntryAddr, done func()) {
+	waiting := make(map[pagetable.EntryAddr]bool)
+	for _, a := range addrs {
+		if _, ok := s.pmshr[a]; ok {
+			waiting[a] = true
+		}
+	}
+	if len(waiting) == 0 {
+		s.eng.After(0, done)
+		return
+	}
+	s.barriers = append(s.barriers, &barrier{waiting: waiting, done: done})
+}
+
+// BarrierAll invokes done once every currently outstanding miss completes.
+func (s *SMU) BarrierAll(done func()) {
+	addrs := make([]pagetable.EntryAddr, 0, len(s.pmshr))
+	for a := range s.pmshr {
+		addrs = append(addrs, a)
+	}
+	s.Barrier(addrs, done)
+}
+
+func (s *SMU) checkBarriers(addr pagetable.EntryAddr) {
+	kept := s.barriers[:0]
+	for _, b := range s.barriers {
+		delete(b.waiting, addr)
+		if len(b.waiting) == 0 {
+			s.eng.After(0, b.done)
+			continue
+		}
+		kept = append(kept, b)
+	}
+	s.barriers = kept
+}

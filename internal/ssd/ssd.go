@@ -1,0 +1,214 @@
+// Package ssd models ultra-low-latency NVMe SSDs. A device drains attached
+// submission queues when their doorbell rings, services commands on a set
+// of internal channels (striped by LBA), applies write-induced read
+// interference (reads behind flash-program operations get slower — the
+// effect the paper cites for YCSB's lower gains), performs the DMA via a
+// caller-supplied callback, and posts completions.
+//
+// Three profiles reproduce Figure 17's device times: Samsung Z-SSD
+// (10.9 µs 4 KiB read), Intel Optane SSD (6.5 µs) and Optane DC PMM in
+// App-direct mode used as storage (2.1 µs).
+package ssd
+
+import (
+	"fmt"
+
+	"hwdp/internal/nvme"
+	"hwdp/internal/sim"
+)
+
+// Profile is a device latency/parallelism model.
+type Profile struct {
+	Name string
+	// Read4K is the end-to-end device time for a 4 KiB read at queue
+	// depth 1 (SQ doorbell write to CQ entry write, as measured in the
+	// paper's methodology).
+	Read4K sim.Time
+	// Write4K is the device time for a 4 KiB write (buffered program).
+	Write4K sim.Time
+	// Channels is the internal parallelism: commands on different channels
+	// overlap fully.
+	Channels int
+	// JitterFrac is the relative stddev of the service time.
+	JitterFrac float64
+	// WriteInterference is the fractional read-latency penalty per
+	// outstanding write on the same channel.
+	WriteInterference float64
+}
+
+// Device profiles used throughout the evaluation.
+var (
+	ZSSD = Profile{
+		Name: "Z-SSD", Read4K: sim.Micro(10.9), Write4K: sim.Micro(9.0),
+		Channels: 8, JitterFrac: 0.03, WriteInterference: 0.55,
+	}
+	OptaneSSD = Profile{
+		Name: "Optane-SSD", Read4K: sim.Micro(6.5), Write4K: sim.Micro(6.0),
+		Channels: 7, JitterFrac: 0.02, WriteInterference: 0.35,
+	}
+	OptaneDCPMM = Profile{
+		Name: "Optane-DC-PMM", Read4K: sim.Micro(2.1), Write4K: sim.Micro(2.3),
+		Channels: 6, JitterFrac: 0.01, WriteInterference: 0.20,
+	}
+)
+
+// DMAFunc performs the data transfer for a command once the media access
+// completes: for reads it deposits the block into the frame addressed by
+// PRP1. It runs at completion time in virtual time order.
+type DMAFunc func(cmd nvme.Command)
+
+// NotifyFunc delivers a completion to the host side of a queue pair: an
+// interrupt for OS-managed queues, a memory-write snoop for the SMU queue.
+type NotifyFunc func(cp nvme.Completion)
+
+type attachment struct {
+	qp     *nvme.QueuePair
+	notify NotifyFunc
+}
+
+type channel struct {
+	freeAt            sim.Time
+	outstandingWrites int
+}
+
+// Stats aggregates device-side counters.
+type Stats struct {
+	Reads, Writes, Flushes uint64
+	ReadLatencySum         sim.Time
+	QueueWaitSum           sim.Time
+}
+
+// Device is one simulated NVMe SSD.
+type Device struct {
+	eng      *sim.Engine
+	prof     Profile
+	rng      *sim.Rand
+	ns       map[uint32]nvme.Namespace
+	attached map[uint16]*attachment
+	chans    []channel
+	dma      DMAFunc
+	stats    Stats
+}
+
+// New creates a device. dma may be nil (no data movement, timing only).
+func New(eng *sim.Engine, prof Profile, rng *sim.Rand, dma DMAFunc) *Device {
+	if prof.Channels <= 0 {
+		panic("ssd: profile needs at least one channel")
+	}
+	return &Device{
+		eng:      eng,
+		prof:     prof,
+		rng:      rng,
+		ns:       make(map[uint32]nvme.Namespace),
+		attached: make(map[uint16]*attachment),
+		chans:    make([]channel, prof.Channels),
+		dma:      dma,
+	}
+}
+
+// Profile returns the device's latency profile.
+func (d *Device) Profile() Profile { return d.prof }
+
+// Stats returns a copy of the device counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// AddNamespace registers a namespace.
+func (d *Device) AddNamespace(ns nvme.Namespace) { d.ns[ns.ID] = ns }
+
+// Attach registers a queue pair and its completion delivery path.
+func (d *Device) Attach(qp *nvme.QueuePair, notify NotifyFunc) {
+	if _, dup := d.attached[qp.ID]; dup {
+		panic(fmt.Sprintf("ssd: queue %d attached twice", qp.ID))
+	}
+	d.attached[qp.ID] = &attachment{qp: qp, notify: notify}
+}
+
+// RingSQDoorbell tells the device that the host advanced the SQ tail of the
+// given queue. The device drains all pending entries, scheduling each on an
+// internal channel.
+func (d *Device) RingSQDoorbell(qid uint16) {
+	at, ok := d.attached[qid]
+	if !ok {
+		panic(fmt.Sprintf("ssd: doorbell for unattached queue %d", qid))
+	}
+	for {
+		cmd, ok := at.qp.PopSQ()
+		if !ok {
+			return
+		}
+		d.service(at, cmd)
+	}
+}
+
+func (d *Device) service(at *attachment, cmd nvme.Command) {
+	now := d.eng.Now()
+	status := nvme.StatusSuccess
+	if ns, ok := d.ns[cmd.NSID]; !ok {
+		status = nvme.StatusInvalidNS
+	} else if cmd.Opcode != nvme.OpFlush && cmd.SLBA+uint64(cmd.Blocks()) > ns.Blocks {
+		status = nvme.StatusLBARange
+	}
+	if status != nvme.StatusSuccess {
+		// Errors complete quickly without touching media.
+		d.eng.After(sim.Nano(500), func() { d.complete(at, cmd, status) })
+		return
+	}
+
+	ch := &d.chans[int(cmd.SLBA)%len(d.chans)]
+	var svc sim.Time
+	switch cmd.Opcode {
+	case nvme.OpRead:
+		d.stats.Reads++
+		svc = d.jitter(d.prof.Read4K) * sim.Time(cmd.Blocks())
+		if !cmd.Urgent && ch.outstandingWrites > 0 {
+			// Reads queued behind program operations on the same channel.
+			svc += sim.Time(float64(d.prof.Read4K) * d.prof.WriteInterference * float64(ch.outstandingWrites))
+		}
+	case nvme.OpWrite:
+		d.stats.Writes++
+		svc = d.jitter(d.prof.Write4K) * sim.Time(cmd.Blocks())
+		ch.outstandingWrites++
+	case nvme.OpFlush:
+		d.stats.Flushes++
+		svc = d.jitter(d.prof.Write4K / 2)
+	}
+
+	start := now
+	if ch.freeAt > start {
+		d.stats.QueueWaitSum += ch.freeAt - start
+		start = ch.freeAt
+	}
+	done := start + svc
+	ch.freeAt = done
+	if cmd.Opcode == nvme.OpRead {
+		d.stats.ReadLatencySum += done - now
+	}
+	d.eng.At(done, func() {
+		if cmd.Opcode == nvme.OpWrite {
+			ch.outstandingWrites--
+		}
+		if d.dma != nil {
+			d.dma(cmd)
+		}
+		d.complete(at, cmd, nvme.StatusSuccess)
+	})
+}
+
+func (d *Device) complete(at *attachment, cmd nvme.Command, status uint16) {
+	at.qp.PostCompletion(nvme.Completion{CID: cmd.CID, Status: status})
+	if at.notify != nil {
+		at.notify(nvme.Completion{CID: cmd.CID, SQID: at.qp.ID, Status: status})
+	}
+}
+
+func (d *Device) jitter(base sim.Time) sim.Time {
+	if d.prof.JitterFrac == 0 || d.rng == nil {
+		return base
+	}
+	v := d.rng.Norm(float64(base), float64(base)*d.prof.JitterFrac)
+	min := float64(base) * 0.7
+	if v < min {
+		v = min
+	}
+	return sim.Time(v)
+}

@@ -1,0 +1,29 @@
+package workload
+
+import (
+	"testing"
+
+	"hwdp/internal/sim"
+)
+
+func BenchmarkZipfianNext(b *testing.B) {
+	z := NewZipfian(1<<20, ZipfTheta)
+	r := sim.NewRand(1)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= z.Next(r)
+	}
+	_ = sink
+}
+
+func BenchmarkScrambledNext(b *testing.B) {
+	s := Scrambled{Gen: NewZipfian(1<<20, ZipfTheta), N: 1 << 20}
+	r := sim.NewRand(1)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= s.Next(r)
+	}
+	_ = sink
+}

@@ -1,0 +1,33 @@
+package workload
+
+import (
+	"hwdp/internal/core"
+	"hwdp/internal/kernel"
+	"hwdp/internal/sim"
+)
+
+// Compute is a CPU-bound kernel standing in for a SPEC CPU 2017 thread in
+// the Fig. 16 SMT co-scheduling experiment. Each op is a slice of pure
+// user computation; its achieved IPC depends on how many issue slots the
+// SMT sibling leaves free.
+type Compute struct {
+	Sys     *core.System
+	Name    string
+	OpInstr uint64
+}
+
+// SPECKernels returns the co-runner set used for Figure 16: three kernels
+// with different op granularities (shorter ops → more scheduling points,
+// standing in for SPEC workloads of different loop structures).
+func SPECKernels(sys *core.System) []*Compute {
+	return []*Compute{
+		{Sys: sys, Name: "mcf-like", OpInstr: 20_000},
+		{Sys: sys, Name: "lbm-like", OpInstr: 60_000},
+		{Sys: sys, Name: "xz-like", OpInstr: 140_000},
+	}
+}
+
+// Op implements Workload.
+func (c *Compute) Op(th *kernel.Thread, _ *sim.Rand, done func(error)) {
+	c.Sys.CPU.UserExec(th.HW, c.OpInstr, func() { done(nil) })
+}
