@@ -32,12 +32,15 @@ import (
 
 	"hwdp/internal/check"
 	"hwdp/internal/core"
+	"hwdp/internal/fault"
 	"hwdp/internal/fs"
 	"hwdp/internal/kernel"
 	"hwdp/internal/kvs"
+	"hwdp/internal/metrics"
 	"hwdp/internal/mmu"
 	"hwdp/internal/pagetable"
 	"hwdp/internal/sim"
+	"hwdp/internal/smu"
 	"hwdp/internal/ssd"
 	"hwdp/internal/workload"
 )
@@ -113,6 +116,73 @@ type Config struct {
 	// exception context-switches the thread away (Section V, long-latency
 	// I/O). Zero disables.
 	StallTimeoutUS int
+	// Faults attaches a deterministic fault injector to every device.
+	// Injection draws come from a PRNG stream forked off Seed, so two runs
+	// with the same Config produce bit-identical outcomes, faults included.
+	Faults []FaultRule
+	// SMUCmdTimeoutUS arms the SMU's per-command completion timeout (needed
+	// to recover from dropped commands on the hardware path). Zero keeps
+	// the timeout disabled.
+	SMUCmdTimeoutUS int
+}
+
+// FaultKind classifies an injected device fault.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// FaultTransient completes the command with a retryable error status;
+	// a resubmission usually succeeds.
+	FaultTransient FaultKind = iota + 1
+	// FaultUECC is an unrecoverable media error: retries never help, and a
+	// faulting read ends in an OS-delivered SIGBUS kill.
+	FaultUECC
+	// FaultDrop loses the command inside the device — no completion, no
+	// DMA; only host timeouts recover.
+	FaultDrop
+	// FaultSpike multiplies the command's service time (latency outlier).
+	FaultSpike
+)
+
+// FaultRule describes one fault-injection scenario.
+type FaultRule struct {
+	Kind FaultKind
+	// Prob is the per-matching-command injection probability in [0, 1].
+	Prob float64
+	// LBAStart/LBAEnd restrict the rule to [LBAStart, LBAEnd); both zero
+	// means all LBAs.
+	LBAStart, LBAEnd uint64
+	// ReadsOnly / WritesOnly restrict the rule to one opcode class.
+	ReadsOnly, WritesOnly bool
+	// SMUPathOnly restricts the rule to the SMU's isolated queue,
+	// exercising hardware-path degradation without touching OS I/O.
+	SMUPathOnly bool
+	// Burst injects on the next Burst-1 matching commands after each
+	// probability hit (clustered errors).
+	Burst int
+	// SpikeFactor is the service-time multiplier for FaultSpike (default
+	// 10x when zero).
+	SpikeFactor float64
+	// MaxInjections caps the rule's total injections (0 = unlimited).
+	MaxInjections uint64
+}
+
+func (r FaultRule) rule() fault.Rule {
+	out := fault.Rule{
+		Kind:          fault.Kind(r.Kind),
+		Prob:          r.Prob,
+		LBAStart:      r.LBAStart,
+		LBAEnd:        r.LBAEnd,
+		ReadsOnly:     r.ReadsOnly,
+		WritesOnly:    r.WritesOnly,
+		Burst:         r.Burst,
+		SpikeFactor:   r.SpikeFactor,
+		MaxInjections: r.MaxInjections,
+	}
+	if r.SMUPathOnly {
+		out.Queue = core.SMUQueueID
+	}
+	return out
 }
 
 // System is one simulated machine plus its primary process.
@@ -140,6 +210,14 @@ func New(cfg Config) *System {
 	c.PerCoreFreeQueues = cfg.PerCoreFreeQueues
 	c.LogStructuredFS = cfg.LogStructuredFS
 	c.Kernel.StallTimeout = sim.Time(cfg.StallTimeoutUS) * sim.Microsecond
+	for _, r := range cfg.Faults {
+		c.FaultRules = append(c.FaultRules, r.rule())
+	}
+	if cfg.SMUCmdTimeoutUS > 0 {
+		p := smu.DefaultRetryPolicy()
+		p.CmdTimeout = sim.Time(cfg.SMUCmdTimeoutUS) * sim.Microsecond
+		c.SMURetry = &p
+	}
 	return &System{sys: core.NewSystem(c)}
 }
 
@@ -402,6 +480,12 @@ func (s *System) Stats() Stats {
 		StallTimeouts:  ks.StallTimeouts,
 	}
 }
+
+// Recovery reports the per-layer error-recovery counters: injected faults
+// at the device boundary, SMU retries/timeouts, block-layer retries, and
+// OS-level degradation (bounced faults, SIGBUS kills, abandoned
+// writebacks). All zero on a fault-free run.
+func (s *System) Recovery() metrics.Recovery { return s.sys.Recovery() }
 
 // CheckInvariants validates the machine's structural invariants (frame
 // accounting, no page aliasing, Table I discipline, PMSHR bounds) and

@@ -92,5 +92,16 @@ func checkSMU(r *report, s *core.System) {
 					sid, qi, q.Len(), q.Depth())
 			}
 		}
+		// Frame conservation: every frame the OS handed the SMU was either
+		// installed into a PTE or is still held in a queue, prefetch buffer
+		// or PMSHR entry. A shortfall means a frame leaked on some error
+		// path; an excess means one was double-counted or double-requeued.
+		st := u.Stats()
+		held := uint64(u.FramesHeld())
+		if st.FramesAccepted != st.FramesInstalled+held {
+			r.addf("frame-conservation",
+				"socket %d: accepted %d != installed %d + held %d (recycled %d)",
+				sid, st.FramesAccepted, st.FramesInstalled, held, st.FramesRecycled)
+		}
 	}
 }

@@ -8,9 +8,11 @@ import (
 	"fmt"
 
 	"hwdp/internal/cpu"
+	"hwdp/internal/fault"
 	"hwdp/internal/fs"
 	"hwdp/internal/kernel"
 	"hwdp/internal/mem"
+	"hwdp/internal/metrics"
 	"hwdp/internal/mmu"
 	"hwdp/internal/nvme"
 	"hwdp/internal/pagetable"
@@ -18,6 +20,11 @@ import (
 	"hwdp/internal/smu"
 	"hwdp/internal/ssd"
 )
+
+// SMUQueueID is the NVMe submission queue ID of the SMU's isolated queue
+// pair on every socket's device (OS queues start at 1000). Fault rules can
+// target it to exercise the hardware path's degradation in isolation.
+const SMUQueueID uint16 = 1
 
 // Config describes one machine.
 type Config struct {
@@ -62,6 +69,13 @@ type Config struct {
 	// DeviceJitter enables service-time jitter (off for latency-exact
 	// microbenchmarks, on for throughput runs).
 	DeviceJitter bool
+	// FaultRules, when non-empty, attach a deterministic fault injector to
+	// every socket's device (each gets its own forked PRNG stream off Seed,
+	// so same-seed runs replay bit-identically).
+	FaultRules []fault.Rule
+	// SMURetry overrides the SMU's error-recovery policy (nil keeps
+	// smu.DefaultRetryPolicy).
+	SMURetry *smu.RetryPolicy
 }
 
 // DefaultConfig mirrors the evaluation setup (Table II) at simulation
@@ -180,10 +194,16 @@ func NewSystem(cfg Config) *System {
 			}
 		})
 		dev.AddNamespace(nvme.Namespace{ID: uint32(sid + 1), Blocks: cfg.FSBlocks})
+		if len(cfg.FaultRules) > 0 {
+			dev.SetInjector(fault.NewInjector(rng.Fork(0xFA17+uint64(sid)), cfg.FaultRules...))
+		}
 		s := smu.NewPerCore(eng, uint8(sid), qDepth, pmshr, queues)
+		if cfg.SMURetry != nil {
+			s.SetRetryPolicy(*cfg.SMURetry)
+		}
 		// The isolated SMU queue pair, sized so the PMSHR can never
 		// overflow it.
-		sqp := nvme.NewQueuePair(1, 2*pmshr+2)
+		sqp := nvme.NewQueuePair(SMUQueueID, 2*pmshr+2)
 		s.AttachDevice(0, dev, sqp, uint32(sid+1))
 		mm.AttachSMU(s)
 		k.AttachStorage(uint8(sid), 0, dev, fsys)
@@ -252,6 +272,35 @@ func (s *System) RunFor(d sim.Time) { s.Eng.RunUntil(s.Eng.Now() + d) }
 func (s *System) RunWhile(cond func() bool) {
 	for cond() && s.Eng.Step() {
 	}
+}
+
+// Recovery aggregates the per-layer error-recovery counters across every
+// socket's device and SMU plus the kernel.
+func (s *System) Recovery() metrics.Recovery {
+	var r metrics.Recovery
+	for _, dev := range s.Devs {
+		ds := dev.Stats()
+		r.InjectedTransient += ds.InjTransient
+		r.InjectedUECC += ds.InjUECC
+		r.InjectedDrops += ds.InjDropped
+		r.InjectedSpikes += ds.InjSpikes
+		r.DeviceAborts += ds.Aborts
+	}
+	for _, u := range s.SMUs {
+		us := u.Stats()
+		r.SMURetries += us.Retries
+		r.SMUTimeouts += us.Timeouts
+		r.SMUIOErrors += us.IOErrors
+		r.SMUUECCFailures += us.UECCFailures
+		r.SMUFramesRecycled += us.FramesRecycled
+	}
+	ks := s.K.Stats()
+	r.BlockRetries = ks.BlockRetries
+	r.BlockTimeouts = ks.BlockTimeouts
+	r.HWBounceFaults = ks.HWBounceFaults
+	r.SIGBUSKills = ks.SIGBUSKills
+	r.WritebackErrors = ks.WritebackErrors
+	return r
 }
 
 // FaultTrace is a single-miss phase trace (Fig. 11(b)).

@@ -1,0 +1,205 @@
+// Package fault provides deterministic, seed-reproducible injection of
+// hardware error scenarios into the simulated storage stack. The paper's
+// resilience story (Section V, "Long Latency I/O") is that hardware demand
+// paging keeps the OS off the page-miss critical path *except* for rare
+// slow paths — device errors, command losses and latency outliers — which
+// must degrade gracefully to the software exception path. An Injector
+// attaches to an ssd.Device and decides, per command, whether to fault it;
+// all randomness comes from the simulator's seeded PRNG so every run
+// replays exactly.
+package fault
+
+import (
+	"fmt"
+
+	"hwdp/internal/sim"
+)
+
+// Kind classifies an injected fault.
+type Kind int
+
+// Kinds. The zero value None means "no fault".
+const (
+	None Kind = iota
+	// Transient is a recoverable media error: the command completes with a
+	// retryable NVMe status (command interrupted) and a resubmission will
+	// usually succeed.
+	Transient
+	// UECC is an uncorrectable media error: the data is gone and retries
+	// never help (unrecovered read / write fault status).
+	UECC
+	// Drop loses the command inside the device: no completion is ever
+	// posted and no DMA happens. Only a host-side timeout recovers.
+	Drop
+	// Spike is a latency outlier: the command completes correctly but its
+	// service time is multiplied by SpikeFactor.
+	Spike
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Transient:
+		return "transient"
+	case UECC:
+		return "uecc"
+	case Drop:
+		return "drop"
+	case Spike:
+		return "spike"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// DefaultSpikeFactor is the service-time multiplier used by Spike rules
+// that leave SpikeFactor zero.
+const DefaultSpikeFactor = 10.0
+
+// Rule describes one fault scenario: what to inject, with what probability,
+// and which commands are eligible. Zero-valued filters match everything.
+type Rule struct {
+	Kind Kind
+	// Prob is the per-matching-command injection probability in [0, 1].
+	// 1 injects on every match without consuming a random draw.
+	Prob float64
+	// LBAStart/LBAEnd restrict the rule to commands whose starting LBA
+	// falls in [LBAStart, LBAEnd). Both zero means all LBAs.
+	LBAStart, LBAEnd uint64
+	// ReadsOnly / WritesOnly restrict the rule to one opcode class.
+	ReadsOnly, WritesOnly bool
+	// Queue restricts the rule to one submission queue ID (0 = any queue;
+	// real queues in this model start at 1). Targeting the SMU's isolated
+	// queue exercises the hardware path's degradation without perturbing
+	// the OS block layer.
+	Queue uint16
+	// Burst makes faults clustered: once a probability draw triggers, the
+	// next Burst-1 matching commands fault too (error bursts are the
+	// common failure mode of flash media).
+	Burst int
+	// SpikeFactor is the service-time multiplier for Kind == Spike
+	// (DefaultSpikeFactor when zero).
+	SpikeFactor float64
+	// MaxInjections caps how many faults the rule injects over the run
+	// (0 = unlimited).
+	MaxInjections uint64
+}
+
+func (r Rule) matches(read bool, lba uint64, queue uint16) bool {
+	if r.ReadsOnly && !read {
+		return false
+	}
+	if r.WritesOnly && read {
+		return false
+	}
+	if r.Queue != 0 && r.Queue != queue {
+		return false
+	}
+	if r.LBAEnd > r.LBAStart && (lba < r.LBAStart || lba >= r.LBAEnd) {
+		return false
+	}
+	return true
+}
+
+// Decision is the injector's verdict for one command.
+type Decision struct {
+	Kind        Kind
+	SpikeFactor float64
+}
+
+// Stats counts the injector's activity.
+type Stats struct {
+	Evaluated uint64 // commands presented to Decide
+	Injected  uint64 // commands faulted
+	Transient uint64
+	UECC      uint64
+	Drops     uint64
+	Spikes    uint64
+}
+
+// Injector decides, per device command, whether to inject a fault. Rules
+// are evaluated in order; the first hit wins. The injector owns a forked
+// PRNG stream, so injection decisions never perturb the device's own
+// jitter stream and same-seed runs replay bit-identically.
+type Injector struct {
+	rng      *sim.Rand
+	rules    []Rule
+	burst    []int    // remaining burst hits per rule
+	injected []uint64 // injections performed per rule
+	stats    Stats
+}
+
+// NewInjector builds an injector over the given rules. It panics on
+// malformed rules (probability outside [0,1], missing kind) — always a
+// harness bug.
+func NewInjector(rng *sim.Rand, rules ...Rule) *Injector {
+	if rng == nil {
+		panic("fault: injector needs a PRNG")
+	}
+	for i, r := range rules {
+		if r.Kind == None {
+			panic(fmt.Sprintf("fault: rule %d has no kind", i))
+		}
+		if r.Prob < 0 || r.Prob > 1 {
+			panic(fmt.Sprintf("fault: rule %d probability %v outside [0,1]", i, r.Prob))
+		}
+	}
+	return &Injector{
+		rng:      rng,
+		rules:    rules,
+		burst:    make([]int, len(rules)),
+		injected: make([]uint64, len(rules)),
+	}
+}
+
+// Decide evaluates the rules for one command. read reports the opcode
+// class, lba the starting LBA, queue the submission queue ID.
+func (in *Injector) Decide(read bool, lba uint64, queue uint16) Decision {
+	in.stats.Evaluated++
+	for i := range in.rules {
+		r := &in.rules[i]
+		if !r.matches(read, lba, queue) {
+			continue
+		}
+		if r.MaxInjections > 0 && in.injected[i] >= r.MaxInjections {
+			continue
+		}
+		hit, fromBurst := false, false
+		switch {
+		case in.burst[i] > 0:
+			in.burst[i]--
+			hit, fromBurst = true, true
+		case r.Prob >= 1:
+			hit = true
+		case r.Prob > 0 && in.rng.Float64() < r.Prob:
+			hit = true
+		}
+		if !hit {
+			continue
+		}
+		if !fromBurst && r.Burst > 1 {
+			in.burst[i] = r.Burst - 1
+		}
+		in.injected[i]++
+		in.stats.Injected++
+		switch r.Kind {
+		case Transient:
+			in.stats.Transient++
+		case UECC:
+			in.stats.UECC++
+		case Drop:
+			in.stats.Drops++
+		case Spike:
+			in.stats.Spikes++
+		}
+		sf := r.SpikeFactor
+		if sf <= 1 {
+			sf = DefaultSpikeFactor
+		}
+		return Decision{Kind: r.Kind, SpikeFactor: sf}
+	}
+	return Decision{}
+}
+
+// Stats returns a copy of the counters.
+func (in *Injector) Stats() Stats { return in.stats }

@@ -1,0 +1,189 @@
+package fault
+
+import (
+	"testing"
+
+	"hwdp/internal/sim"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		None:      "none",
+		Transient: "transient",
+		UECC:      "uecc",
+		Drop:      "drop",
+		Spike:     "spike",
+		Kind(42):  "kind(42)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestCertainInjection(t *testing.T) {
+	in := NewInjector(sim.NewRand(1), Rule{Kind: UECC, Prob: 1})
+	for i := 0; i < 10; i++ {
+		if d := in.Decide(true, uint64(i), 1); d.Kind != UECC {
+			t.Fatalf("command %d: kind = %v, want uecc", i, d.Kind)
+		}
+	}
+	st := in.Stats()
+	if st.Evaluated != 10 || st.Injected != 10 || st.UECC != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestZeroProbabilityNeverInjects(t *testing.T) {
+	in := NewInjector(sim.NewRand(1), Rule{Kind: Transient, Prob: 0})
+	for i := 0; i < 1000; i++ {
+		if d := in.Decide(true, uint64(i), 1); d.Kind != None {
+			t.Fatal("prob 0 injected")
+		}
+	}
+}
+
+func TestLBARangeFilter(t *testing.T) {
+	in := NewInjector(sim.NewRand(1), Rule{Kind: UECC, Prob: 1, LBAStart: 100, LBAEnd: 110})
+	if d := in.Decide(true, 99, 1); d.Kind != None {
+		t.Fatal("lba 99 matched [100,110)")
+	}
+	if d := in.Decide(true, 100, 1); d.Kind != UECC {
+		t.Fatal("lba 100 missed [100,110)")
+	}
+	if d := in.Decide(true, 109, 1); d.Kind != UECC {
+		t.Fatal("lba 109 missed [100,110)")
+	}
+	if d := in.Decide(true, 110, 1); d.Kind != None {
+		t.Fatal("lba 110 matched [100,110)")
+	}
+}
+
+func TestOpcodeAndQueueFilters(t *testing.T) {
+	in := NewInjector(sim.NewRand(1),
+		Rule{Kind: Transient, Prob: 1, ReadsOnly: true, Queue: 7})
+	if d := in.Decide(false, 0, 7); d.Kind != None {
+		t.Fatal("write matched a reads-only rule")
+	}
+	if d := in.Decide(true, 0, 8); d.Kind != None {
+		t.Fatal("queue 8 matched a queue-7 rule")
+	}
+	if d := in.Decide(true, 0, 7); d.Kind != Transient {
+		t.Fatal("matching read on queue 7 not injected")
+	}
+
+	wr := NewInjector(sim.NewRand(1), Rule{Kind: Transient, Prob: 1, WritesOnly: true})
+	if d := wr.Decide(true, 0, 1); d.Kind != None {
+		t.Fatal("read matched a writes-only rule")
+	}
+	if d := wr.Decide(false, 0, 1); d.Kind != Transient {
+		t.Fatal("write missed a writes-only rule")
+	}
+}
+
+func TestBurstClustersAndTerminates(t *testing.T) {
+	// A triggering draw faults the next Burst-1 commands too, then the
+	// burst ends (it must not re-arm itself).
+	in := NewInjector(sim.NewRand(3), Rule{Kind: Transient, Prob: 0.01, Burst: 4})
+	run := make([]bool, 4000)
+	for i := range run {
+		run[i] = in.Decide(true, uint64(i), 1).Kind != None
+	}
+	if in.Stats().Injected == 0 {
+		t.Fatal("burst rule never triggered in 4000 commands")
+	}
+	// Mid-burst commands never draw the PRNG, so a new trigger can only
+	// land right after a burst ends: every maximal run of injections that
+	// doesn't touch the stream end has a length that is a multiple of 4.
+	runLen := 0
+	for i, f := range run {
+		if f {
+			runLen++
+			continue
+		}
+		if runLen > 0 && runLen%4 != 0 {
+			t.Fatalf("run of %d faults ending at %d not a multiple of burst 4", runLen, i)
+		}
+		runLen = 0
+	}
+}
+
+func TestMaxInjectionsCap(t *testing.T) {
+	in := NewInjector(sim.NewRand(1), Rule{Kind: Drop, Prob: 1, MaxInjections: 3})
+	n := 0
+	for i := 0; i < 100; i++ {
+		if in.Decide(true, uint64(i), 1).Kind == Drop {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Fatalf("injected %d, want 3 (capped)", n)
+	}
+}
+
+func TestFirstMatchingRuleWins(t *testing.T) {
+	in := NewInjector(sim.NewRand(1),
+		Rule{Kind: UECC, Prob: 1, LBAStart: 10, LBAEnd: 20},
+		Rule{Kind: Transient, Prob: 1})
+	if d := in.Decide(true, 15, 1); d.Kind != UECC {
+		t.Fatalf("kind = %v, want uecc (first rule)", d.Kind)
+	}
+	if d := in.Decide(true, 5, 1); d.Kind != Transient {
+		t.Fatalf("kind = %v, want transient (second rule)", d.Kind)
+	}
+}
+
+func TestSpikeFactorDefaults(t *testing.T) {
+	in := NewInjector(sim.NewRand(1),
+		Rule{Kind: Spike, Prob: 1, MaxInjections: 1},
+		Rule{Kind: Spike, Prob: 1, SpikeFactor: 50})
+	if d := in.Decide(true, 0, 1); d.SpikeFactor != DefaultSpikeFactor {
+		t.Fatalf("default spike factor = %v", d.SpikeFactor)
+	}
+	if d := in.Decide(true, 0, 1); d.SpikeFactor != 50 {
+		t.Fatalf("spike factor = %v, want 50", d.SpikeFactor)
+	}
+}
+
+// TestDeterminism: two injectors with the same seed and rules must make
+// bit-identical decisions for the same command stream.
+func TestDeterminism(t *testing.T) {
+	rules := []Rule{
+		{Kind: Transient, Prob: 0.05, ReadsOnly: true},
+		{Kind: Drop, Prob: 0.01, Burst: 3},
+		{Kind: Spike, Prob: 0.1, SpikeFactor: 25},
+	}
+	mk := func() []Decision {
+		in := NewInjector(sim.NewRand(42), rules...)
+		cmds := sim.NewRand(7)
+		out := make([]Decision, 5000)
+		for i := range out {
+			out[i] = in.Decide(cmds.Intn(2) == 0, cmds.Uint64()%4096, uint16(1+cmds.Intn(4)))
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for _, bad := range []func(){
+		func() { NewInjector(nil, Rule{Kind: Drop, Prob: 1}) },
+		func() { NewInjector(sim.NewRand(1), Rule{Prob: 1}) },
+		func() { NewInjector(sim.NewRand(1), Rule{Kind: Drop, Prob: 1.5}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

@@ -1,8 +1,6 @@
 package kernel
 
 import (
-	"fmt"
-
 	"hwdp/internal/cpu"
 	"hwdp/internal/mem"
 	"hwdp/internal/mmu"
@@ -122,14 +120,12 @@ func (k *Kernel) osFaultPath(th *Thread, as *mmu.AddressSpace, va pagetable.VAdd
 					panic(err)
 				}
 				ioDone := false
-				var onIO func(bool)
-				k.submitIO(vma.st, hw, nvme.OpRead, blk.LBA, frame, func(ok bool) {
-					if !ok {
-						panic(fmt.Sprintf("kernel: fault read failed at %v", blk))
-					}
-					ioDone = true
+				ioStatus := nvme.StatusSuccess
+				var onIO func(status uint16)
+				k.submitIORetry(vma.st, hw, nvme.OpRead, blk.LBA, frame, func(status uint16) {
+					ioDone, ioStatus = true, status
 					if onIO != nil {
-						onIO(ok)
+						onIO(status)
 					}
 				})
 				// The thread blocks: schedule away while the device works.
@@ -142,11 +138,25 @@ func (k *Kernel) osFaultPath(th *Thread, as *mmu.AddressSpace, va pagetable.VAdd
 						k.refillOnFault(hw)
 					}
 				})
-				completion := func(bool) {
+				completion := func(status uint16) {
 					// Interrupt → block-layer completion → wake + schedule
 					// in → metadata + PTE install → return to user.
 					hw.AccountContextSwitch()
 					k.kexec(hw, c.InterruptDelivery+c.IOCompletion+c.WakeSchedule, func() {
+						if status != nvme.StatusSuccess {
+							// The read is unrecoverable even after block-layer
+							// retries: SIGBUS the faulting thread. Waiters on
+							// the page lock observe the missing page and fail
+							// their walks too — nobody hangs.
+							k.sigbus(th, as, va, frame)
+							waiters := k.faultInflight[key]
+							delete(k.faultInflight, key)
+							done()
+							for _, w := range waiters {
+								w()
+							}
+							return
+						}
 						k.kexec(hw, c.MetadataUpdate+c.PTEInstallReturn, func() {
 							pg := k.insertPage(vma.st, vma.File, idx, frame,
 								mapping{as: as, va: va.PageBase(), vma: vma})
@@ -161,13 +171,35 @@ func (k *Kernel) osFaultPath(th *Thread, as *mmu.AddressSpace, va pagetable.VAdd
 					})
 				}
 				if ioDone {
-					completion(true)
+					completion(ioStatus)
 				} else {
 					onIO = completion
 				}
 			})
 		})
 	})
+}
+
+// sigbus is the delivery model for an unrecoverable fault I/O: the paging
+// request cannot be satisfied, so the kernel kills the faulting thread
+// (real kernels raise SIGBUS for a failed file-backed fault). The frame
+// allocated for the read is returned, and a still-unresolved PTE is
+// poisoned to the plain not-present state so later accesses route straight
+// to the OS path instead of re-driving hardware at a bad block.
+func (k *Kernel) sigbus(th *Thread, as *mmu.AddressSpace, va pagetable.VAddr, frame mem.FrameID) {
+	k.stats.SIGBUSKills++
+	th.Killed = true
+	if frame != mem.NoFrame {
+		if err := k.mem.Free(frame); err != nil {
+			panic(err)
+		}
+	}
+	if _, _, pte, ok := as.Table.Walk(va); ok {
+		if e := pte.Get(); !e.Present() {
+			pte.Set(pagetable.MakeSwap(0, e.Prot()))
+		}
+	}
+	k.mmu.TLB().Invalidate(as.ASID, va.PageNumber())
 }
 
 // mapPTE installs a present PTE for an existing page (minor fault).
@@ -277,15 +309,24 @@ func (k *Kernel) swFault(th *Thread, as *mmu.AddressSpace, va pagetable.VAddr,
 				}
 				k.kexec(hw, c.SWSubmit, func() {
 					th.beginStall(k) // mwait: core waits, issues nothing
-					k.submitIO(vma.st, hw, nvme.OpRead, blk.LBA, frame, func(ok bool) {
-						if !ok {
-							panic("kernel: sw fault read failed")
-						}
+					k.submitIORetry(vma.st, hw, nvme.OpRead, blk.LBA, frame, func(status uint16) {
 						// The interrupt handler touches the monitored
 						// address; the mwait returns and the routine
 						// finishes the miss.
 						th.endStall()
 						k.kexec(hw, c.InterruptDelivery+c.SWComplete, func() {
+							if status != nvme.StatusSuccess {
+								// Unrecoverable: SIGBUS, and fail every fault
+								// coalesced on the emulated PMSHR entry.
+								k.sigbus(th, as, va, frame)
+								waiters := k.swPMSHR[addr]
+								delete(k.swPMSHR, addr)
+								done()
+								for _, w := range waiters {
+									w()
+								}
+								return
+							}
 							pud, pmd, pteRef, _ := as.Table.Walk(va)
 							pteRef.Set(pagetable.MakePresent(frame, vma.Prot, false))
 							pagetable.MarkUnsynced(pud, pmd)

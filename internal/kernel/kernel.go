@@ -77,6 +77,19 @@ type Config struct {
 	// OS context-switches the thread away until the miss completes
 	// (Section V, "Long Latency I/O"). Zero disables the timeout.
 	StallTimeout sim.Time
+
+	// BlockRetries bounds how many times the block layer resubmits an I/O
+	// that failed with a retryable status (command interrupted, host
+	// timeout) before reporting the failure to the caller.
+	BlockRetries int
+	// BlockRetryDelay is the delay before the first block-layer retry; it
+	// doubles on each subsequent attempt.
+	BlockRetryDelay sim.Time
+	// BlockTimeout, when non-zero, bounds how long the block layer waits for
+	// any completion: past it the command is aborted and treated as a
+	// retryable failure. This is what recovers commands lost inside a
+	// faulty device (no completion ever arrives).
+	BlockTimeout sim.Time
 }
 
 // DefaultConfig returns the configuration used by the evaluation.
@@ -90,6 +103,9 @@ func DefaultConfig(scheme Scheme) Config {
 		LowWaterFrac:      0.06,
 		HighWaterFrac:     0.12,
 		KpooldReserveFrac: 0.03,
+		BlockRetries:      3,
+		BlockRetryDelay:   sim.Micro(20),
+		BlockTimeout:      10 * sim.Millisecond,
 	}
 }
 
@@ -113,6 +129,12 @@ type Stats struct {
 	Forks           uint64
 	Msyncs          uint64
 	RemapPatchedPTE uint64
+
+	// Error-recovery counters.
+	BlockRetries    uint64 // block-layer resubmissions of failed commands
+	BlockTimeouts   uint64 // commands the block layer aborted after no completion
+	SIGBUSKills     uint64 // threads killed: fault I/O unrecoverable (UECC)
+	WritebackErrors uint64 // writebacks abandoned after exhausting retries
 }
 
 type storKey struct{ sid, dev uint8 }
@@ -120,7 +142,14 @@ type storKey struct{ sid, dev uint8 }
 type osQueue struct {
 	qp      *nvme.QueuePair
 	nextCID uint16
-	pending map[uint16]func(ok bool)
+	pending map[uint16]*osPending
+}
+
+// osPending tracks one in-flight OS command: the completion callback and
+// the block-layer timeout armed for it.
+type osPending struct {
+	done    func(status uint16)
+	timeout *sim.Event
 }
 
 type storage struct {
@@ -172,9 +201,13 @@ func (v *VMA) pageIndex(va pagetable.VAddr) int {
 // Thread is a schedulable software thread pinned to one hardware thread
 // (the evaluation pins workload threads to logical cores).
 type Thread struct {
-	ID       int
-	HW       *cpu.HWThread
-	Proc     *Process
+	ID   int
+	HW   *cpu.HWThread
+	Proc *Process
+	// Killed marks a thread terminated by the SIGBUS model: the I/O backing
+	// one of its page faults failed unrecoverably. The simulation keeps the
+	// Thread object (accounting), but workloads should stop driving it.
+	Killed   bool
 	stallEnd func()
 }
 
@@ -377,7 +410,7 @@ func (k *Kernel) osQueueFor(st *storage, hw *cpu.HWThread) *osQueue {
 	if !ok {
 		qp := nvme.NewQueuePair(st.nextQP, 256)
 		st.nextQP++
-		q = &osQueue{qp: qp, pending: make(map[uint16]func(ok bool))}
+		q = &osQueue{qp: qp, pending: make(map[uint16]*osPending)}
 		st.qps[hw.ID] = q
 		st.dev.Attach(qp, func(cp nvme.Completion) { k.osInterrupt(q, cp) })
 	}
@@ -385,7 +418,9 @@ func (k *Kernel) osQueueFor(st *storage, hw *cpu.HWThread) *osQueue {
 }
 
 // osInterrupt is the device interrupt path for OS-managed queues. The
-// per-command callback decides what handling to charge where.
+// per-command callback decides what handling to charge where. Completions
+// for commands the block layer already timed out (the pending entry is
+// gone) are stale and dropped.
 func (k *Kernel) osInterrupt(q *osQueue, _ nvme.Completion) {
 	for {
 		cp, ok := q.qp.PollCQ()
@@ -393,22 +428,38 @@ func (k *Kernel) osInterrupt(q *osQueue, _ nvme.Completion) {
 			return
 		}
 		q.qp.ConsumeCQ()
-		cb := q.pending[cp.CID]
+		p := q.pending[cp.CID]
 		delete(q.pending, cp.CID)
-		if cb != nil {
-			cb(cp.OK())
+		if p != nil {
+			p.timeout.Cancel()
+			p.done(cp.Status)
 		}
 	}
 }
 
 // submitIO issues a read or write on the caller's OS queue pair. done runs
-// at completion-interrupt time (callers charge completion costs).
+// at completion-interrupt time with the completion status (callers charge
+// completion costs). When Config.BlockTimeout is set and no completion
+// arrives in time, the command is aborted and done receives the
+// host-synthesized StatusHostTimeout.
 func (k *Kernel) submitIO(st *storage, hw *cpu.HWThread, op nvme.Opcode, lba uint64,
-	frame mem.FrameID, done func(ok bool)) {
+	frame mem.FrameID, done func(status uint16)) {
 	q := k.osQueueFor(st, hw)
 	cid := q.nextCID
 	q.nextCID++
-	q.pending[cid] = done
+	p := &osPending{done: done}
+	q.pending[cid] = p
+	if k.cfg.BlockTimeout > 0 {
+		p.timeout = k.eng.After(k.cfg.BlockTimeout, func() {
+			if q.pending[cid] != p {
+				return
+			}
+			delete(q.pending, cid)
+			st.dev.Abort(q.qp.ID, cid)
+			k.stats.BlockTimeouts++
+			done(nvme.StatusHostTimeout)
+		})
+	}
 	cmd := nvme.Command{
 		Opcode: op,
 		CID:    cid,
@@ -420,6 +471,30 @@ func (k *Kernel) submitIO(st *storage, hw *cpu.HWThread, op nvme.Opcode, lba uin
 		panic(fmt.Sprintf("kernel: OS queue overflow: %v", err))
 	}
 	st.dev.RingSQDoorbell(q.qp.ID)
+}
+
+// submitIORetry issues an I/O through submitIO and resubmits on retryable
+// failures (transient media errors, timeouts) with a doubling delay, up to
+// Config.BlockRetries resubmissions. done receives the final status —
+// retries are invisible to the caller except as latency.
+func (k *Kernel) submitIORetry(st *storage, hw *cpu.HWThread, op nvme.Opcode, lba uint64,
+	frame mem.FrameID, done func(status uint16)) {
+	attempt := 1
+	var try func()
+	try = func() {
+		k.submitIO(st, hw, op, lba, frame, func(status uint16) {
+			if status == nvme.StatusSuccess || !nvme.StatusRetryable(status) ||
+				attempt > k.cfg.BlockRetries {
+				done(status)
+				return
+			}
+			k.stats.BlockRetries++
+			delay := k.cfg.BlockRetryDelay << (attempt - 1)
+			attempt++
+			k.eng.After(delay, try)
+		})
+	}
+	try()
 }
 
 func (k *Kernel) storageFor(b pagetable.BlockAddr) *storage {

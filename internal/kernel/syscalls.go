@@ -248,7 +248,10 @@ func (k *Kernel) unmapOne(p *Process, vma *VMA, va pagetable.VAddr, pte pagetabl
 		pg.wb = true
 		k.stats.Writebacks++
 		blk, _ := vma.st.fsys.Block(pg.file, pg.idx)
-		k.submitIO(vma.st, k.kswapdHW, nvme.OpWrite, blk.LBA, pg.frame, func(bool) {
+		k.submitIORetry(vma.st, k.kswapdHW, nvme.OpWrite, blk.LBA, pg.frame, func(status uint16) {
+			if status != nvme.StatusSuccess {
+				k.stats.WritebackErrors++
+			}
 			pg.wb = false
 			if err := k.mem.Free(pg.frame); err != nil {
 				panic(err)
@@ -299,7 +302,10 @@ func (k *Kernel) Msync(th *Thread, start pagetable.VAddr, done func()) {
 			cost += c.WritebackSubmit
 			blk, _ := vma.st.fsys.Block(pg.file, pg.idx)
 			outstanding++
-			k.submitIO(vma.st, th.HW, nvme.OpWrite, blk.LBA, pg.frame, func(bool) {
+			k.submitIORetry(vma.st, th.HW, nvme.OpWrite, blk.LBA, pg.frame, func(status uint16) {
+				if status != nvme.StatusSuccess {
+					k.stats.WritebackErrors++
+				}
 				pg.wb = false
 				outstanding--
 				maybeDone()
@@ -346,7 +352,11 @@ func (k *Kernel) WriteRaw(th *Thread, sid, devID uint8, f *fs.File, page int, do
 		k.walBuffer = f
 	}
 	k.kexec(th.HW, k.cfg.Costs.IOSubmit/2, func() {
-		k.submitIO(st, th.HW, nvme.OpWrite, blk.LBA, k.walBuffer, func(bool) {})
+		k.submitIORetry(st, th.HW, nvme.OpWrite, blk.LBA, k.walBuffer, func(status uint16) {
+			if status != nvme.StatusSuccess {
+				k.stats.WritebackErrors++
+			}
+		})
 		done()
 	})
 }

@@ -184,6 +184,68 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 }
 
+// Recovery aggregates the per-layer error-recovery counters of one run:
+// what the injector put in, and what each layer — device, SMU, block
+// layer, fault handler — did to absorb it. It is the one-stop report for
+// fault-storm experiments.
+type Recovery struct {
+	// Injected faults, by kind (device boundary).
+	InjectedTransient uint64
+	InjectedUECC      uint64
+	InjectedDrops     uint64
+	InjectedSpikes    uint64
+	DeviceAborts      uint64 // host aborts that canceled an in-flight command
+
+	// SMU hardware recovery.
+	SMURetries        uint64 // command resubmissions with backoff
+	SMUTimeouts       uint64 // completion timeouts (lost commands)
+	SMUIOErrors       uint64 // error completions the SMU observed
+	SMUUECCFailures   uint64 // unrecoverable media errors on the SMU path
+	SMUFramesRecycled uint64 // popped frames returned to the free queue
+
+	// OS block layer and fault handler.
+	BlockRetries    uint64
+	BlockTimeouts   uint64
+	HWBounceFaults  uint64 // walks degraded from hardware to the OS path
+	SIGBUSKills     uint64
+	WritebackErrors uint64
+}
+
+// String renders the recovery report as an aligned two-column table.
+func (r Recovery) String() string {
+	rows := []struct {
+		label string
+		v     uint64
+	}{
+		{"injected transient", r.InjectedTransient},
+		{"injected UECC", r.InjectedUECC},
+		{"injected drops", r.InjectedDrops},
+		{"injected spikes", r.InjectedSpikes},
+		{"device aborts", r.DeviceAborts},
+		{"SMU retries", r.SMURetries},
+		{"SMU timeouts", r.SMUTimeouts},
+		{"SMU I/O errors", r.SMUIOErrors},
+		{"SMU UECC failures", r.SMUUECCFailures},
+		{"SMU frames recycled", r.SMUFramesRecycled},
+		{"block-layer retries", r.BlockRetries},
+		{"block-layer timeouts", r.BlockTimeouts},
+		{"HW-bounced faults", r.HWBounceFaults},
+		{"SIGBUS kills", r.SIGBUSKills},
+		{"writeback errors", r.WritebackErrors},
+	}
+	width := 0
+	for _, row := range rows {
+		if len(row.label) > width {
+			width = len(row.label)
+		}
+	}
+	var sb strings.Builder
+	for _, row := range rows {
+		fmt.Fprintf(&sb, "  %-*s %12d\n", width, row.label, row.v)
+	}
+	return sb.String()
+}
+
 // Breakdown is an ordered list of named component values; it renders the
 // stacked-bar figures of the paper (Figs. 1, 3, 11, 15) as text tables.
 type Breakdown struct {

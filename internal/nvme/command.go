@@ -97,13 +97,53 @@ func Decode(b [CommandSize]byte) (Command, error) {
 	return c, nil
 }
 
-// Status codes in completion entries.
+// Status codes in completion entries, encoded as (SCT << 8) | SC like the
+// spec's combined status field: generic command status (SCT 0), command
+// specific status (SCT 1), and media/data integrity errors (SCT 2).
+// StatusHostTimeout is not a wire status — the host block layer (and the
+// SMU's completion-timeout logic) synthesizes it for commands whose
+// completion never arrived, after issuing an abort.
 const (
-	StatusSuccess     uint16 = 0x0
-	StatusInvalidNS   uint16 = 0xB
-	StatusLBARange    uint16 = 0x80
-	StatusInternalErr uint16 = 0x6
+	StatusSuccess        uint16 = 0x0
+	StatusInternalErr    uint16 = 0x6
+	StatusInvalidNS      uint16 = 0xB
+	StatusCmdInterrupted uint16 = 0x21 // transient, explicitly retryable (NVMe 1.4)
+	StatusLBARange       uint16 = 0x80
+	StatusWriteFault     uint16 = 0x280 // media error on program
+	StatusUncorrectable  uint16 = 0x281 // unrecovered read error (UECC): data lost
+	StatusHostTimeout    uint16 = 0xF01 // host-synthesized: completion timed out
 )
+
+// StatusString renders a status code for logs and error messages; unknown
+// codes render as unknown(0xNN) rather than an empty string.
+func StatusString(s uint16) string {
+	switch s {
+	case StatusSuccess:
+		return "success"
+	case StatusInternalErr:
+		return "internal-error"
+	case StatusInvalidNS:
+		return "invalid-namespace"
+	case StatusCmdInterrupted:
+		return "command-interrupted"
+	case StatusLBARange:
+		return "lba-out-of-range"
+	case StatusWriteFault:
+		return "write-fault"
+	case StatusUncorrectable:
+		return "unrecovered-read"
+	case StatusHostTimeout:
+		return "host-timeout"
+	}
+	return fmt.Sprintf("unknown(%#x)", s)
+}
+
+// StatusRetryable reports whether a failed command is worth resubmitting:
+// transient interruptions and host-observed timeouts are; media errors
+// (UECC, write fault) and command/field errors are not.
+func StatusRetryable(s uint16) bool {
+	return s == StatusCmdInterrupted || s == StatusHostTimeout
+}
 
 // Completion is a completion-queue entry. Phase is the phase tag the host
 // compares against its expected phase to detect new entries.

@@ -1,0 +1,48 @@
+package nvme
+
+import "testing"
+
+func TestStatusString(t *testing.T) {
+	cases := []struct {
+		status uint16
+		want   string
+	}{
+		{StatusSuccess, "success"},
+		{StatusInternalErr, "internal-error"},
+		{StatusInvalidNS, "invalid-namespace"},
+		{StatusCmdInterrupted, "command-interrupted"},
+		{StatusLBARange, "lba-out-of-range"},
+		{StatusWriteFault, "write-fault"},
+		{StatusUncorrectable, "unrecovered-read"},
+		{StatusHostTimeout, "host-timeout"},
+		{0x42, "unknown(0x42)"},
+		{0x1FF, "unknown(0x1ff)"},
+	}
+	for _, c := range cases {
+		if got := StatusString(c.status); got != c.want {
+			t.Errorf("StatusString(%#x) = %q, want %q", c.status, got, c.want)
+		}
+	}
+}
+
+func TestStatusRetryable(t *testing.T) {
+	cases := []struct {
+		status uint16
+		want   bool
+	}{
+		{StatusSuccess, false},
+		{StatusInternalErr, false},
+		{StatusInvalidNS, false},
+		{StatusCmdInterrupted, true},
+		{StatusLBARange, false},
+		{StatusWriteFault, false},
+		{StatusUncorrectable, false},
+		{StatusHostTimeout, true},
+		{0x42, false},
+	}
+	for _, c := range cases {
+		if got := StatusRetryable(c.status); got != c.want {
+			t.Errorf("StatusRetryable(%#x) = %v, want %v", c.status, got, c.want)
+		}
+	}
+}

@@ -105,6 +105,14 @@ func (q *FreeQueue) Pop() (rec FrameRecord, fromBuffer, ok bool) {
 	return rec, false, true
 }
 
+// Requeue returns a popped record to the prefetch buffer. This is the
+// failure path: the I/O the frame was popped for never installed it, so the
+// frame is still free and must not leak. The buffer may transiently exceed
+// its capacity; Prefetch simply stays idle until pops drain it back down.
+func (q *FreeQueue) Requeue(rec FrameRecord) {
+	q.buf = append(q.buf, rec)
+}
+
 // Pops returns the cumulative successful pop count.
 func (q *FreeQueue) Pops() uint64 { return q.pops }
 

@@ -75,11 +75,43 @@ type Stats struct {
 	Handled      uint64 // misses fully handled in hardware
 	Coalesced    uint64 // duplicate requests merged into an existing entry
 	NoFreePage   uint64 // failures bounced to the OS
-	IOErrors     uint64
+	IOErrors     uint64 // error completions observed (including retried ones)
 	Backlogged   uint64 // requests that waited for a PMSHR slot
 	BufferMisses uint64 // free-page pops that exposed a memory round trip
 	AnonZeroFill uint64 // first-touch anonymous misses served without I/O
 	LateHits     uint64 // requests whose PTE resolved before admission
+
+	// Error-recovery counters (Section V "Long Latency I/O" degradation).
+	Retries      uint64 // command resubmissions after a retryable failure
+	Timeouts     uint64 // completion timeouts (command presumed lost)
+	UECCFailures uint64 // unrecoverable media errors (retries never help)
+
+	// Frame conservation. Every frame the OS hands the SMU is either
+	// installed into a PTE or still held (free queues, prefetch buffers, or
+	// a PMSHR entry): FramesAccepted == FramesInstalled + FramesHeld().
+	FramesAccepted  uint64 // records accepted by Refill/RefillCore
+	FramesInstalled uint64 // frames installed into PTEs (I/O and anon)
+	FramesRecycled  uint64 // frames returned to the free queue on failure
+}
+
+// RetryPolicy bounds the SMU's hardware error recovery. On a retryable
+// completion status the command is resubmitted after Backoff << (attempt-1)
+// (exponential backoff), up to MaxRetries resubmissions; exhaustion fails
+// the walk to the OS exception path. CmdTimeout, when nonzero, bounds how
+// long the SMU waits for any completion after ringing the doorbell — lost
+// commands (no completion at all) are aborted and treated as retryable.
+// CmdTimeout is zero (disabled) by default: a sensible bound depends on the
+// device profile and workload queue depths, so the harness opts in.
+type RetryPolicy struct {
+	MaxRetries int
+	Backoff    sim.Time
+	CmdTimeout sim.Time
+}
+
+// DefaultRetryPolicy is the configuration used by New: up to 3
+// resubmissions with 5 µs initial backoff, no completion timeout.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 3, Backoff: sim.Micro(5)}
 }
 
 type pmshrEntry struct {
@@ -88,6 +120,12 @@ type pmshrEntry struct {
 	req     Request
 	frame   FrameRecord
 	waiters []DoneFunc
+
+	// I/O-path state (zero for anonymous zero-fill entries).
+	dev      *devSlot
+	cid      uint16 // current command ID; 0 = no command in flight
+	attempts int    // submissions so far, including the first
+	timeout  *sim.Event
 }
 
 type devSlot struct {
@@ -115,6 +153,8 @@ type SMU struct {
 
 	pmshr    map[pagetable.EntryAddr]*pmshrEntry
 	byCID    map[uint16]*pmshrEntry
+	nextCID  uint16
+	policy   RetryPolicy
 	freeIdx  []int
 	backlog  []backlogItem
 	freeqs   []*FreeQueue // one, or one per logical core
@@ -159,6 +199,8 @@ func NewPerCore(eng *sim.Engine, sid uint8, freeQueueDepth, entries, cores int) 
 		entries: entries,
 		pmshr:   make(map[pagetable.EntryAddr]*pmshrEntry),
 		byCID:   make(map[uint16]*pmshrEntry),
+		nextCID: 1,
+		policy:  DefaultRetryPolicy(),
 	}
 	per := freeQueueDepth / cores
 	if per < 2 {
@@ -194,6 +236,25 @@ func (s *SMU) Timing() Timing { return s.timing }
 // Stats returns a copy of the counters.
 func (s *SMU) Stats() Stats { return s.stats }
 
+// SetRetryPolicy replaces the error-recovery policy (configure before the
+// run starts).
+func (s *SMU) SetRetryPolicy(p RetryPolicy) { s.policy = p }
+
+// Policy returns the active error-recovery policy.
+func (s *SMU) Policy() RetryPolicy { return s.policy }
+
+// FramesHeld counts the free frames currently in the SMU's custody: free
+// queue rings, prefetch buffers, and PMSHR entries mid-handling. Together
+// with the stats it states the conservation invariant
+// FramesAccepted == FramesInstalled + FramesHeld.
+func (s *SMU) FramesHeld() int {
+	held := len(s.pmshr)
+	for _, q := range s.freeqs {
+		held += q.Len() + q.Buffered()
+	}
+	return held
+}
+
 // FreeQueue exposes the first free page queue (the only one in the default
 // configuration).
 func (s *SMU) FreeQueue() *FreeQueue { return s.freeqs[0] }
@@ -207,6 +268,7 @@ func (s *SMU) Refill(recs []FrameRecord) int { return s.RefillCore(0, recs) }
 func (s *SMU) RefillCore(core int, recs []FrameRecord) int {
 	q := s.queueFor(core)
 	n := q.Push(recs)
+	s.stats.FramesAccepted += uint64(n)
 	q.Prefetch()
 	return n
 }
@@ -304,36 +366,96 @@ func (s *SMU) admit(req Request, done DoneFunc) {
 
 	idx := s.freeIdx[len(s.freeIdx)-1]
 	s.freeIdx = s.freeIdx[:len(s.freeIdx)-1]
-	e := &pmshrEntry{idx: idx, pteAddr: addr, req: req, frame: rec, waiters: []DoneFunc{done}}
+	e := &pmshrEntry{idx: idx, pteAddr: addr, req: req, frame: rec, waiters: []DoneFunc{done}, dev: dev}
 	s.pmshr[addr] = e
-	s.byCID[uint16(idx)] = e
 
 	t := s.timing
 	s.trace("PMSHR write", t.PMSHRWrite)
 	s.trace("NVMe cmd write", t.CmdWrite)
 	s.trace("SQ doorbell", t.Doorbell)
 	issueCost := fetchCost + t.PMSHRWrite + t.CmdWrite
-	s.eng.After(issueCost, func() {
-		cmd := nvme.Command{
-			Opcode: nvme.OpRead,
-			CID:    uint16(idx),
-			NSID:   dev.nsid,
-			PRP1:   rec.DMA,
-			SLBA:   req.Block.LBA,
-			NLB:    0, // one 4 KiB block, no PRP list
+	s.eng.After(issueCost, func() { s.issue(e) })
+}
+
+// allocCID hands out a command identifier not currently in flight. Each
+// submission — including retries of the same miss — gets a fresh CID, so a
+// late completion of an abandoned attempt (e.g. one that raced its own
+// timeout) can never be mistaken for the retry's completion.
+func (s *SMU) allocCID() uint16 {
+	for {
+		cid := s.nextCID
+		s.nextCID++
+		if s.nextCID == 0 {
+			s.nextCID = 1
 		}
-		if err := dev.qp.Submit(cmd); err != nil {
-			// Isolated queue sized to PMSHR depth: overflow is a model bug.
-			panic(fmt.Sprintf("smu: submit failed: %v", err))
+		if cid == 0 {
+			continue
 		}
-		s.eng.After(t.Doorbell, func() {
-			dev.dev.RingSQDoorbell(dev.qp.ID)
-			// Opportunistically refill the prefetch buffer during the
-			// device I/O time — this is what hides the memory latency of
-			// free-page fetches.
-			freeq.Prefetch()
-		})
+		if _, busy := s.byCID[cid]; !busy {
+			return cid
+		}
+	}
+}
+
+// issue submits (or resubmits) the read command for a PMSHR entry and arms
+// the completion timeout.
+func (s *SMU) issue(e *pmshrEntry) {
+	e.attempts++
+	e.cid = s.allocCID()
+	s.byCID[e.cid] = e
+	cmd := nvme.Command{
+		Opcode: nvme.OpRead,
+		CID:    e.cid,
+		NSID:   e.dev.nsid,
+		PRP1:   e.frame.DMA,
+		SLBA:   e.req.Block.LBA,
+		NLB:    0, // one 4 KiB block, no PRP list
+	}
+	if err := e.dev.qp.Submit(cmd); err != nil {
+		// Isolated queue sized to PMSHR depth: overflow is a model bug.
+		panic(fmt.Sprintf("smu: submit failed: %v", err))
+	}
+	t := s.timing
+	s.eng.After(t.Doorbell, func() {
+		e.dev.dev.RingSQDoorbell(e.dev.qp.ID)
+		// Opportunistically refill the prefetch buffer during the
+		// device I/O time — this is what hides the memory latency of
+		// free-page fetches.
+		s.queueFor(e.req.Core).Prefetch()
 	})
+	if s.policy.CmdTimeout > 0 {
+		e.timeout = s.eng.After(t.Doorbell+s.policy.CmdTimeout, func() { s.onTimeout(e) })
+	}
+}
+
+// onTimeout fires when a submitted command produced no completion within
+// the policy window: the command is presumed lost inside the device. The
+// SMU aborts it (guaranteeing no late DMA into the frame if the abort
+// lands) and runs the retry policy with a host-synthesized timeout status.
+func (s *SMU) onTimeout(e *pmshrEntry) {
+	e.timeout = nil
+	s.stats.Timeouts++
+	e.dev.dev.Abort(e.dev.qp.ID, e.cid)
+	s.recover(e, nvme.StatusHostTimeout)
+}
+
+// recover applies the retry policy to a failed attempt: retryable statuses
+// are resubmitted with exponential backoff until the budget is spent;
+// everything else — and exhaustion — fails the walk to the OS exception
+// path (the paper's graceful degradation), recycling the frame via finish.
+func (s *SMU) recover(e *pmshrEntry, status uint16) {
+	if nvme.StatusRetryable(status) && e.attempts <= s.policy.MaxRetries {
+		delete(s.byCID, e.cid)
+		e.cid = 0
+		backoff := s.policy.Backoff << (e.attempts - 1)
+		s.stats.Retries++
+		s.eng.After(backoff, func() { s.issue(e) })
+		return
+	}
+	if status == nvme.StatusUncorrectable || status == nvme.StatusWriteFault {
+		s.stats.UECCFailures++
+	}
+	s.finish(e, ResultIOError, 0)
 }
 
 // admitAnon serves a first-touch anonymous miss: the reserved LBA constant
@@ -361,7 +483,6 @@ func (s *SMU) admitAnon(req Request, done DoneFunc) {
 	s.freeIdx = s.freeIdx[:len(s.freeIdx)-1]
 	e := &pmshrEntry{idx: idx, pteAddr: addr, req: req, frame: rec, waiters: []DoneFunc{done}}
 	s.pmshr[addr] = e
-	s.byCID[uint16(idx)] = e
 
 	t := s.timing
 	s.trace("free page fetch", fetchCost)
@@ -392,11 +513,17 @@ func (s *SMU) onSnoop(dev *devSlot, _ nvme.Completion) {
 		dev.qp.ConsumeCQ()
 		e, ok := s.byCID[cp.CID]
 		if !ok {
+			// Completion for an abandoned attempt (the SMU timed out and
+			// moved on, or already failed the walk): drop it.
 			return
+		}
+		if e.timeout != nil {
+			e.timeout.Cancel()
+			e.timeout = nil
 		}
 		if !cp.OK() {
 			s.stats.IOErrors++
-			s.finish(e, ResultIOError, 0)
+			s.recover(e, cp.Status)
 			return
 		}
 		s.trace("PT update", t.PTUpdate)
@@ -417,9 +544,24 @@ func (s *SMU) onSnoop(dev *devSlot, _ nvme.Completion) {
 }
 
 func (s *SMU) finish(e *pmshrEntry, res Result, pte pagetable.Entry) {
+	if e.timeout != nil {
+		e.timeout.Cancel()
+		e.timeout = nil
+	}
 	delete(s.pmshr, e.pteAddr)
-	delete(s.byCID, uint16(e.idx))
+	if e.cid != 0 {
+		delete(s.byCID, e.cid)
+		e.cid = 0
+	}
 	s.freeIdx = append(s.freeIdx, e.idx)
+	if res == ResultOK {
+		s.stats.FramesInstalled++
+	} else {
+		// The popped frame was never installed: return it to the free queue
+		// so it cannot leak (conservation: accepted == installed + held).
+		s.queueFor(e.req.Core).Requeue(e.frame)
+		s.stats.FramesRecycled++
+	}
 	for _, w := range e.waiters {
 		w(res, pte)
 	}

@@ -13,6 +13,7 @@ package ssd
 import (
 	"fmt"
 
+	"hwdp/internal/fault"
 	"hwdp/internal/nvme"
 	"hwdp/internal/sim"
 )
@@ -76,6 +77,27 @@ type Stats struct {
 	Reads, Writes, Flushes uint64
 	ReadLatencySum         sim.Time
 	QueueWaitSum           sim.Time
+	// Fault-injection outcomes, counted at the device boundary.
+	InjTransient uint64 // completions forced to a retryable status
+	InjUECC      uint64 // completions forced to an unrecoverable media status
+	InjDropped   uint64 // commands lost inside the device (no completion)
+	InjSpikes    uint64 // commands with multiplied service time
+	Aborts       uint64 // host aborts that canceled an in-flight command
+}
+
+// flightKey identifies one in-flight command for abort lookups.
+type flightKey struct {
+	qid uint16
+	cid uint16
+}
+
+// flight is the device-side state of one scheduled command: the completion
+// event and the channel-bookkeeping cleanup that must run exactly once,
+// whether the command completes or is aborted.
+type flight struct {
+	ev      *sim.Event
+	cleanup func()
+	release func() // reclaims channel time on abort
 }
 
 // Device is one simulated NVMe SSD.
@@ -87,6 +109,8 @@ type Device struct {
 	attached map[uint16]*attachment
 	chans    []channel
 	dma      DMAFunc
+	inj      *fault.Injector
+	inflight map[flightKey]*flight
 	stats    Stats
 }
 
@@ -103,8 +127,17 @@ func New(eng *sim.Engine, prof Profile, rng *sim.Rand, dma DMAFunc) *Device {
 		attached: make(map[uint16]*attachment),
 		chans:    make([]channel, prof.Channels),
 		dma:      dma,
+		inflight: make(map[flightKey]*flight),
 	}
 }
+
+// SetInjector attaches a fault injector consulted once per media command.
+// The injector must own a PRNG stream forked from the run seed so that
+// enabling faults never perturbs the device's own jitter stream.
+func (d *Device) SetInjector(in *fault.Injector) { d.inj = in }
+
+// Injector returns the attached injector (nil when fault-free).
+func (d *Device) Injector() *fault.Injector { return d.inj }
 
 // Profile returns the device's latency profile.
 func (d *Device) Profile() Profile { return d.prof }
@@ -173,6 +206,15 @@ func (d *Device) service(at *attachment, cmd nvme.Command) {
 		svc = d.jitter(d.prof.Write4K / 2)
 	}
 
+	var dec fault.Decision
+	if d.inj != nil {
+		dec = d.inj.Decide(cmd.Opcode == nvme.OpRead, cmd.SLBA, at.qp.ID)
+		if dec.Kind == fault.Spike {
+			d.stats.InjSpikes++
+			svc = sim.Time(float64(svc) * dec.SpikeFactor)
+		}
+	}
+
 	start := now
 	if ch.freeAt > start {
 		d.stats.QueueWaitSum += ch.freeAt - start
@@ -183,16 +225,86 @@ func (d *Device) service(at *attachment, cmd nvme.Command) {
 	if cmd.Opcode == nvme.OpRead {
 		d.stats.ReadLatencySum += done - now
 	}
-	d.eng.At(done, func() {
-		if cmd.Opcode == nvme.OpWrite {
-			ch.outstandingWrites--
+
+	key := flightKey{qid: at.qp.ID, cid: cmd.CID}
+	if _, dup := d.inflight[key]; dup {
+		panic(fmt.Sprintf("ssd: duplicate in-flight CID %d on queue %d", cmd.CID, at.qp.ID))
+	}
+	fl := &flight{}
+	if cmd.Opcode == nvme.OpWrite {
+		fl.cleanup = func() { ch.outstandingWrites-- }
+	}
+	fl.release = func() {
+		// An aborted command stops occupying its channel. Only the channel
+		// tail can be reclaimed: once a later command queued behind this
+		// one, the media time is already committed.
+		if ch.freeAt == done {
+			if now := d.eng.Now(); now < ch.freeAt {
+				ch.freeAt = now
+			}
+		}
+	}
+	fl.ev = d.eng.At(done, func() {
+		delete(d.inflight, key)
+		if fl.cleanup != nil {
+			fl.cleanup()
+		}
+		switch dec.Kind {
+		case fault.Drop:
+			// The command is lost inside the device: no DMA, no completion.
+			// Only a host-side timeout (followed by Abort) recovers.
+			d.stats.InjDropped++
+			return
+		case fault.Transient:
+			d.stats.InjTransient++
+			d.complete(at, cmd, nvme.StatusCmdInterrupted)
+			return
+		case fault.UECC:
+			d.stats.InjUECC++
+			if cmd.Opcode == nvme.OpRead {
+				d.complete(at, cmd, nvme.StatusUncorrectable)
+			} else {
+				d.complete(at, cmd, nvme.StatusWriteFault)
+			}
+			return
 		}
 		if d.dma != nil {
 			d.dma(cmd)
 		}
 		d.complete(at, cmd, nvme.StatusSuccess)
 	})
+	d.inflight[key] = fl
 }
+
+// Abort cancels an in-flight command the host has given up on (after a
+// completion timeout). It returns true when the command was still pending
+// and is now guaranteed never to DMA or complete; false means the command
+// already finished (its completion and any DMA have already happened) or
+// was never seen, and the host must treat the late completion, if any, as
+// stale. Abort mirrors the NVMe admin Abort command but resolves instantly:
+// the simulated window between "host decides to abort" and "device acks"
+// folds into the host's own timeout delay.
+func (d *Device) Abort(qid, cid uint16) bool {
+	key := flightKey{qid: qid, cid: cid}
+	fl, ok := d.inflight[key]
+	if !ok {
+		return false
+	}
+	fl.ev.Cancel()
+	delete(d.inflight, key)
+	if fl.cleanup != nil {
+		fl.cleanup()
+	}
+	if fl.release != nil {
+		fl.release()
+	}
+	d.stats.Aborts++
+	return true
+}
+
+// Inflight returns the number of commands scheduled on media that have not
+// yet completed or been aborted (invariant-checking hook for tests).
+func (d *Device) Inflight() int { return len(d.inflight) }
 
 func (d *Device) complete(at *attachment, cmd nvme.Command, status uint16) {
 	at.qp.PostCompletion(nvme.Completion{CID: cmd.CID, Status: status})
