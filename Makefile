@@ -1,0 +1,35 @@
+# Standard developer entry points. CI runs the same targets, so a green
+# `make check docs-check` locally means a green pipeline.
+
+GO ?= go
+
+.PHONY: all build test race bench docs-check fmt check
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -short -bench=. -benchtime=1x ./...
+
+fmt:
+	gofmt -w .
+
+# docs-check enforces the documentation invariants: gofmt-clean sources,
+# package docs and doc comments on every exported symbol, and no broken
+# relative links in markdown. See cmd/docscheck.
+docs-check:
+	@fmtout="$$(gofmt -l .)"; \
+	if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
+	fi
+	$(GO) run ./cmd/docscheck
+
+check: build test docs-check

@@ -1,0 +1,222 @@
+// Command docscheck enforces the repo's documentation invariants. It is
+// the engine behind `make docs-check` and the CI docs step.
+//
+// It checks, across every non-test Go file in the module:
+//
+//   - every package has a package doc comment;
+//   - every exported top-level symbol (type, func, method, const, var)
+//     has a doc comment;
+//
+// and, across every tracked markdown file:
+//
+//   - every relative link target ([text](path) and [text](path#anchor))
+//     resolves to an existing file or directory.
+//
+// It exits non-zero and lists each violation as file:line when anything
+// fails, so it slots directly into CI.
+//
+//	go run ./cmd/docscheck [-root dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root to check")
+	flag.Parse()
+
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	if err := checkGoDocs(*root, addf); err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(1)
+	}
+	if err := checkMarkdownLinks(*root, addf); err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(1)
+	}
+
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Printf("docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: ok")
+}
+
+// checkGoDocs parses every non-test .go file and reports packages without
+// a package comment and exported declarations without doc comments.
+func checkGoDocs(root string, addf func(string, ...any)) error {
+	fset := token.NewFileSet()
+	// Track whether any file of a package carries the package comment:
+	// one doc.go per package is enough.
+	pkgDoc := map[string]bool{}       // dir -> has package doc
+	pkgFiles := map[string][]string{} // dir -> files (for reporting)
+
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		dir := filepath.Dir(path)
+		pkgFiles[dir] = append(pkgFiles[dir], path)
+		if f.Doc != nil {
+			pkgDoc[dir] = true
+		}
+		for _, decl := range f.Decls {
+			checkDecl(fset, decl, addf)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for dir, files := range pkgFiles {
+		if !pkgDoc[dir] {
+			sort.Strings(files)
+			addf("%s: package has no package doc comment", files[0])
+		}
+	}
+	return nil
+}
+
+// checkDecl reports exported top-level symbols without doc comments.
+func checkDecl(fset *token.FileSet, decl ast.Decl, addf func(string, ...any)) {
+	pos := func(p token.Pos) string {
+		position := fset.Position(p)
+		return fmt.Sprintf("%s:%d", position.Filename, position.Line)
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || d.Doc != nil {
+			return
+		}
+		// Only methods on exported receivers count as API surface.
+		if d.Recv != nil && !exportedRecv(d.Recv) {
+			return
+		}
+		addf("%s: exported %s %s is undocumented", pos(d.Pos()), kindOf(d), d.Name.Name)
+	case *ast.GenDecl:
+		// A doc comment on the GenDecl covers the whole block
+		// (`// Schemes.` above a const block is idiomatic).
+		blockDoc := d.Doc != nil
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && !blockDoc && s.Doc == nil && s.Comment == nil {
+					addf("%s: exported type %s is undocumented", pos(s.Pos()), s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				if blockDoc || s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						addf("%s: exported %s %s is undocumented", pos(s.Pos()), tokenKind(d.Tok), n.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func kindOf(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+func tokenKind(t token.Token) string {
+	if t == token.CONST {
+		return "const"
+	}
+	return "var"
+}
+
+// exportedRecv reports whether a method receiver names an exported type.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return true
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.IsExported()
+	}
+	return true
+}
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkMarkdownLinks verifies every relative markdown link target exists.
+func checkMarkdownLinks(root string, addf func(string, ...any)) error {
+	return filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+					strings.HasPrefix(target, "#") {
+					continue
+				}
+				target = strings.SplitN(target, "#", 2)[0]
+				resolved := filepath.Join(filepath.Dir(path), target)
+				if _, err := os.Stat(resolved); err != nil {
+					addf("%s:%d: broken link %q", path, i+1, m[1])
+				}
+			}
+		}
+		return nil
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"hwdp/internal/core"
 	"hwdp/internal/kernel"
 	"hwdp/internal/ssd"
+	"hwdp/internal/trace"
 	"hwdp/internal/workload"
 )
 
@@ -28,6 +29,8 @@ func main() {
 	writeFrac := flag.Float64("write-frac", 0, "fraction of ops that are writes")
 	cold := flag.Bool("cold", false, "touch only cold pages (pure miss latency)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	breakdown := flag.Bool("breakdown", false, "print per-layer miss-latency attribution after the run")
+	tracePath := flag.String("trace", "", "write per-miss Chrome trace_event JSON to this file")
 	flag.Parse()
 
 	var scheme kernel.Scheme
@@ -59,6 +62,7 @@ func main() {
 	cfg.MemoryBytes = uint64(*memMB) << 20
 	cfg.Device = prof
 	cfg.Seed = *seed
+	cfg.TraceEnabled = *breakdown || *tracePath != ""
 	pages := *fileMB << 8 // MB -> 4KiB pages
 	cfg.FSBlocks = uint64(pages) + (1 << 16)
 	sys := core.NewSystem(cfg)
@@ -94,4 +98,27 @@ func main() {
 	fmt.Printf("  memory         evictions=%d writebacks=%d\n", ks.Evictions, ks.Writebacks)
 	ds := sys.Dev.Stats()
 	fmt.Printf("  device         reads=%d writes=%d\n", ds.Reads, ds.Writes)
+
+	if *breakdown {
+		fmt.Printf("\n%s", sys.Trace.Report())
+		if sys.Trace.Kills() > 0 {
+			fmt.Printf("\n%s", sys.Trace.FlightDump())
+		}
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fio:", err)
+			os.Exit(1)
+		}
+		werr := trace.WriteChrome(f, trace.Process{Name: scheme.String(), T: sys.Trace})
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "fio:", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("  trace          wrote %s (open in https://ui.perfetto.dev)\n", *tracePath)
+	}
 }

@@ -8,6 +8,8 @@
 //	hwdpbench -all
 //	hwdpbench -quick            # reduced op counts
 //	hwdpbench -threads 1,4      # restrict Fig. 13's thread sweep
+//	hwdpbench -breakdown        # per-layer miss-latency attribution, all schemes
+//	hwdpbench -trace out.json   # Chrome trace of the same sweep (Perfetto)
 package main
 
 import (
@@ -18,7 +20,11 @@ import (
 	"strings"
 	"time"
 
+	"hwdp/internal/core"
 	"hwdp/internal/figures"
+	"hwdp/internal/kernel"
+	"hwdp/internal/trace"
+	"hwdp/internal/workload"
 )
 
 func main() {
@@ -27,6 +33,8 @@ func main() {
 	all := flag.Bool("all", false, "regenerate everything")
 	quick := flag.Bool("quick", false, "use reduced op counts")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts for -fig 13")
+	breakdown := flag.Bool("breakdown", false, "run a traced FIO sweep over all three schemes and print per-layer latency attribution")
+	tracePath := flag.String("trace", "", "write the traced sweep as Chrome trace_event JSON to this file")
 	flag.Parse()
 
 	p := figures.Default()
@@ -101,6 +109,11 @@ func main() {
 		ran = true
 	}
 
+	if *breakdown || *tracePath != "" {
+		traceSweep(*quick, *breakdown, *tracePath)
+		ran = true
+	}
+
 	switch {
 	case *all:
 		for _, id := range []string{"1", "2", "area"} {
@@ -117,6 +130,60 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// traceSweep runs the same cold FIO workload under all three paging
+// schemes with the observability tracer enabled, prints the per-layer
+// critical-path attribution for each (when report is set), and optionally
+// writes a combined Chrome trace with one process per scheme.
+func traceSweep(quick, report bool, tracePath string) {
+	ops, warm := 2000, 200
+	if quick {
+		ops, warm = 500, 100
+	}
+	const (
+		filePages = 64 << 8 // 64 MiB mapped file
+		memBytes  = 32 << 20
+		threads   = 4
+	)
+	var procs []trace.Process
+	for _, scheme := range []kernel.Scheme{kernel.OSDP, kernel.SWDP, kernel.HWDP} {
+		cfg := core.DefaultConfig(scheme)
+		cfg.MemoryBytes = memBytes
+		cfg.Seed = 1
+		cfg.FSBlocks = filePages + (1 << 16)
+		cfg.TraceEnabled = true
+		sys := core.NewSystem(cfg)
+		fio, err := workload.SetupFIO(sys, "fio.dat", filePages, sys.FastFlags())
+		if err != nil {
+			fatal(err)
+		}
+		fio.Cold = true
+		ths := make([]*kernel.Thread, threads)
+		for i := range ths {
+			ths[i] = sys.WorkloadThread(i)
+		}
+		workload.Run(sys, ths, fio,
+			workload.RunOptions{OpsPerThread: ops, WarmupOps: warm})
+		if report {
+			fmt.Printf("=== %v ===\n%s\n", scheme, sys.Trace.Report())
+		}
+		procs = append(procs, trace.Process{Name: scheme.String(), T: sys.Trace})
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteChrome(f, procs...); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote Chrome trace to %s (open in https://ui.perfetto.dev)\n", tracePath)
 	}
 }
 

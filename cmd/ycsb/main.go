@@ -16,6 +16,7 @@ import (
 	"hwdp/internal/kernel"
 	"hwdp/internal/kvs"
 	"hwdp/internal/ssd"
+	"hwdp/internal/trace"
 	"hwdp/internal/workload"
 )
 
@@ -29,6 +30,8 @@ func main() {
 	records := flag.Uint64("records", 16384, "record count (4 KiB each)")
 	memMB := flag.Int("mem-mb", 32, "physical memory size")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	breakdown := flag.Bool("breakdown", false, "print per-layer miss-latency attribution after the run")
+	tracePath := flag.String("trace", "", "write per-miss Chrome trace_event JSON to this file")
 	flag.Parse()
 
 	var scheme kernel.Scheme
@@ -58,6 +61,7 @@ func main() {
 	cfg.MemoryBytes = uint64(*memMB) << 20
 	cfg.Device = prof
 	cfg.Seed = *seed
+	cfg.TraceEnabled = *breakdown || *tracePath != ""
 	cfg.FSBlocks = *records*2 + (1 << 16)
 	sys := core.NewSystem(cfg)
 
@@ -109,6 +113,27 @@ func main() {
 		ks.Evictions, ks.Writebacks, ks.KptedSyncs)
 	ds := sys.Dev.Stats()
 	fmt.Printf("  device         reads=%d writes=%d\n", ds.Reads, ds.Writes)
+
+	if *breakdown {
+		fmt.Printf("\n%s", sys.Trace.Report())
+		if sys.Trace.Kills() > 0 {
+			fmt.Printf("\n%s", sys.Trace.FlightDump())
+		}
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail("%v", err)
+		}
+		werr := trace.WriteChrome(f, trace.Process{Name: scheme.String(), T: sys.Trace})
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fail("%v", werr)
+		}
+		fmt.Printf("  trace          wrote %s (open in https://ui.perfetto.dev)\n", *tracePath)
+	}
 	if m.Errors > 0 {
 		os.Exit(1)
 	}

@@ -29,6 +29,7 @@ package hwdp
 
 import (
 	"fmt"
+	"io"
 
 	"hwdp/internal/check"
 	"hwdp/internal/core"
@@ -42,6 +43,7 @@ import (
 	"hwdp/internal/sim"
 	"hwdp/internal/smu"
 	"hwdp/internal/ssd"
+	"hwdp/internal/trace"
 	"hwdp/internal/workload"
 )
 
@@ -55,6 +57,7 @@ const (
 	HWDP
 )
 
+// String returns the scheme's display name (OSDP, SW-only, HWDP).
 func (s Scheme) String() string { return s.kernel().String() }
 
 func (s Scheme) kernel() kernel.Scheme {
@@ -124,6 +127,16 @@ type Config struct {
 	// to recover from dropped commands on the hardware path). Zero keeps
 	// the timeout disabled.
 	SMUCmdTimeoutUS int
+	// Trace enables the per-miss observability tracer: every page miss is
+	// followed through MMU → SMU → NVMe → SSD and the kernel exception
+	// path, and the System exposes WriteTrace (Chrome trace JSON),
+	// BreakdownReport (critical-path attribution) and FlightDump
+	// (flight-recorder postmortems). Off by default; when off, the miss
+	// path does no tracing work and performs no allocations for it.
+	Trace bool
+	// TraceRing sets the flight-recorder depth in misses (0 picks the
+	// default of 64). Only meaningful with Trace enabled.
+	TraceRing int
 }
 
 // FaultKind classifies an injected device fault.
@@ -218,6 +231,8 @@ func New(cfg Config) *System {
 		p.CmdTimeout = sim.Time(cfg.SMUCmdTimeoutUS) * sim.Microsecond
 		c.SMURetry = &p
 	}
+	c.TraceEnabled = cfg.Trace
+	c.TraceRing = cfg.TraceRing
 	return &System{sys: core.NewSystem(c)}
 }
 
@@ -486,6 +501,33 @@ func (s *System) Stats() Stats {
 // OS-level degradation (bounced faults, SIGBUS kills, abandoned
 // writebacks). All zero on a fault-free run.
 func (s *System) Recovery() metrics.Recovery { return s.sys.Recovery() }
+
+// Tracer exposes the observability tracer, nil unless Config.Trace was
+// set. Most callers want WriteTrace, BreakdownReport or FlightDump
+// instead; the tracer itself offers the raw per-miss records.
+func (s *System) Tracer() *trace.Tracer { return s.sys.Trace }
+
+// WriteTrace writes every traced miss as Chrome trace_event JSON,
+// loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+// The output is byte-deterministic for a given seed and config. It
+// returns an error if tracing is disabled or the writer fails.
+func (s *System) WriteTrace(w io.Writer) error {
+	if s.sys.Trace == nil {
+		return fmt.Errorf("hwdp: tracing disabled (set Config.Trace)")
+	}
+	return trace.WriteChrome(w, trace.Process{Name: s.sys.Cfg.Scheme.String(), T: s.sys.Trace})
+}
+
+// BreakdownReport renders the critical-path attribution tables: per-layer
+// and per-phase time-in-layer statistics (count, mean, p50, p99) over all
+// traced misses, plus a per-cause census. Returns a note when tracing is
+// disabled.
+func (s *System) BreakdownReport() string { return s.sys.Trace.Report() }
+
+// FlightDump renders the flight recorder — the last traced misses, span
+// by span — plus any postmortems captured at SIGBUS kills. Returns a note
+// when tracing is disabled.
+func (s *System) FlightDump() string { return s.sys.Trace.FlightDump() }
 
 // CheckInvariants validates the machine's structural invariants (frame
 // accounting, no page aliasing, Table I discipline, PMSHR bounds) and

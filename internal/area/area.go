@@ -18,6 +18,7 @@ const (
 	Register
 )
 
+// String returns the cell kind's display name.
 func (k CellKind) String() string {
 	if k == CAM {
 		return "CAM"

@@ -19,6 +19,7 @@ type Violation struct {
 	Detail    string
 }
 
+// String renders the violation as "invariant: detail".
 func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
 
 // report collects violations.

@@ -19,6 +19,7 @@ import (
 	"hwdp/internal/sim"
 	"hwdp/internal/smu"
 	"hwdp/internal/ssd"
+	"hwdp/internal/trace"
 )
 
 // SMUQueueID is the NVMe submission queue ID of the SMU's isolated queue
@@ -76,6 +77,14 @@ type Config struct {
 	// SMURetry overrides the SMU's error-recovery policy (nil keeps
 	// smu.DefaultRetryPolicy).
 	SMURetry *smu.RetryPolicy
+	// TraceEnabled turns on the per-miss observability tracer: every page
+	// miss gets a trace context threaded through MMU → SMU → NVMe → SSD
+	// and the kernel exception path. Off by default; when off, the miss
+	// path performs no tracing work at all.
+	TraceEnabled bool
+	// TraceRing is the flight-recorder depth in misses (0 picks
+	// trace.DefaultRingDepth). Only meaningful with TraceEnabled.
+	TraceRing int
 }
 
 // DefaultConfig mirrors the evaluation setup (Table II) at simulation
@@ -118,6 +127,8 @@ type System struct {
 	K    *kernel.Kernel
 	Proc *kernel.Process
 	Rng  *sim.Rand
+	// Trace is the observability tracer, nil unless Config.TraceEnabled.
+	Trace *trace.Tracer
 }
 
 // NewSystem builds and starts a machine.
@@ -143,6 +154,11 @@ func NewSystem(cfg Config) *System {
 
 	mm := mmu.New(eng)
 	mm.PrefetchDegree = cfg.PrefetchDegree
+	var tracer *trace.Tracer
+	if cfg.TraceEnabled {
+		tracer = trace.New(cfg.TraceRing)
+		mm.Tracer = tracer
+	}
 	// Keep the free page queue a small fraction of memory (the paper's
 	// 4096-entry queue is 0.05% of 32 GiB); at simulation scale, clamp so
 	// scaled-down machines keep the same character.
@@ -169,9 +185,11 @@ func NewSystem(cfg Config) *System {
 	n := cfg.Cores * 2
 	k := kernel.New(eng, c, memory, mm, kcfg,
 		c.Thread(n-1), c.Thread(n-3), c.Thread(n-5))
+	k.SetTracer(tracer)
 
 	sys := &System{
 		Cfg: cfg, Eng: eng, CPU: c, Mem: memory, MMU: mm, K: k, Rng: rng,
+		Trace: tracer,
 	}
 	for sid := 0; sid < sockets; sid++ {
 		fsys := fs.New(uint8(sid), 0, uint32(sid+1), cfg.FSBlocks)

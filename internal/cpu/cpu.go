@@ -75,6 +75,7 @@ const (
 	Stalled
 )
 
+// String returns the thread state's display name.
 func (s ThreadState) String() string {
 	switch s {
 	case Idle:

@@ -36,6 +36,7 @@ const (
 	Spike
 )
 
+// String returns the fault kind's display name.
 func (k Kind) String() string {
 	switch k {
 	case None:

@@ -56,6 +56,7 @@ func AblationPMSHR(p Params) (*PMSHRResult, error) {
 	return res, nil
 }
 
+// String renders the PMSHRResult as the paper-style text table.
 func (r *PMSHRResult) String() string {
 	var b strings.Builder
 	b.WriteString("Ablation: PMSHR size (8-thread cold FIO; prototype picks 32)\n")
@@ -112,6 +113,7 @@ func AblationDeviceSweep(p Params) (*DeviceSweepResult, error) {
 	return res, nil
 }
 
+// String renders the DeviceSweepResult as the paper-style text table.
 func (r *DeviceSweepResult) String() string {
 	var b strings.Builder
 	b.WriteString("Ablation: device-generation sweep, single fault OSDP vs HWDP\n")
@@ -174,6 +176,7 @@ func AblationPrefetch(p Params) (*PrefetchResult, error) {
 	return res, nil
 }
 
+// String renders the PrefetchResult as the paper-style text table.
 func (r *PrefetchResult) String() string {
 	var b strings.Builder
 	b.WriteString("Ablation: SMU sequential prefetcher (future work, Section V)\n")

@@ -101,6 +101,7 @@ func (r *Fig13Result) Gain(name string, threads int) float64 {
 	return -1
 }
 
+// String renders the Fig13Result as the paper-style text table.
 func (r *Fig13Result) String() string {
 	var b strings.Builder
 	b.WriteString("Figure 13: HWDP throughput improvement over OSDP (Z-SSD, 2:1 dataset:memory)\n")
@@ -164,6 +165,7 @@ func Fig14(p Params) (*Fig14Result, error) {
 	}, nil
 }
 
+// String renders the Fig14Result as the paper-style text table.
 func (r *Fig14Result) String() string {
 	var b strings.Builder
 	b.WriteString("Figure 14: YCSB-C, 4 threads — HWDP normalized to OSDP\n")
@@ -227,6 +229,7 @@ func Fig15(p Params) (*Fig15Result, error) {
 	return r, nil
 }
 
+// String renders the Fig15Result as the paper-style text table.
 func (r *Fig15Result) String() string {
 	var b strings.Builder
 	b.WriteString("Figure 15: kernel-level retired instructions and cycles (YCSB-C, 4 threads)\n")
@@ -293,6 +296,7 @@ func Fig16(p Params) (*Fig16Result, error) {
 	return res, nil
 }
 
+// String renders the Fig16Result as the paper-style text table.
 func (r *Fig16Result) String() string {
 	var b strings.Builder
 	b.WriteString("Figure 16: SMT co-scheduling — FIO + compute kernel on one physical core\n")

@@ -62,6 +62,7 @@ func Fig11(p Params) (*Fig11Result, error) {
 	return r, nil
 }
 
+// String renders the Fig11Result as the paper-style text table.
 func (r *Fig11Result) String() string {
 	var b strings.Builder
 	b.WriteString("Figure 11(a): single page-miss latency around device I/O\n")
@@ -120,6 +121,7 @@ func Fig12(p Params) (*Fig12Result, error) {
 	return res, nil
 }
 
+// String renders the Fig12Result as the paper-style text table.
 func (r *Fig12Result) String() string {
 	var b strings.Builder
 	b.WriteString("Figure 12: FIO mmap 4KB random-read latency (Z-SSD)\n")
@@ -179,6 +181,7 @@ func Fig17(p Params) (*Fig17Result, error) {
 	return res, nil
 }
 
+// String renders the Fig17Result as the paper-style text table.
 func (r *Fig17Result) String() string {
 	var b strings.Builder
 	b.WriteString("Figure 17: software-only vs hardware support, single-fault latency\n")
@@ -241,6 +244,7 @@ func KpooldAblation(p Params) (*KpooldResult, error) {
 	return r, nil
 }
 
+// String renders the KpooldResult as the paper-style text table.
 func (r *KpooldResult) String() string {
 	return fmt.Sprintf("kpoold ablation (Section IV-D): OS-handled refill faults over %d ops\n"+
 		"  without kpoold: %d   with kpoold: %d   reduction: %.1f%% (paper: 44.3-78.4%%)\n",

@@ -60,6 +60,7 @@ func Fig1(p Params) (*Fig1Result, error) {
 	return res, nil
 }
 
+// String renders the Fig1Result as the paper-style text table.
 func (r *Fig1Result) String() string {
 	var b strings.Builder
 	b.WriteString("Figure 1: YCSB-C execution time breakdown vs dataset:memory ratio (OSDP)\n")
@@ -100,6 +101,7 @@ func Fig2() *Fig2Result {
 	return &Fig2Result{Rows: rows}
 }
 
+// String renders the Fig2Result as the paper-style text table.
 func (r *Fig2Result) String() string {
 	var b strings.Builder
 	b.WriteString("Figure 2: CPU vs storage performance trend (public specs)\n")
@@ -158,6 +160,7 @@ func Fig3(p Params) (*Fig3Result, error) {
 	}, nil
 }
 
+// String renders the Fig3Result as the paper-style text table.
 func (r *Fig3Result) String() string {
 	var b strings.Builder
 	b.WriteString("Figure 3: single OSDP page-fault latency breakdown (Z-SSD)\n")
@@ -255,6 +258,7 @@ func Fig4(p Params) (*Fig4Result, error) {
 	}, nil
 }
 
+// String renders the Fig4Result as the paper-style text table.
 func (r *Fig4Result) String() string {
 	var b strings.Builder
 	b.WriteString("Figure 4: page-fault impact on YCSB-C (dataset fits in memory)\n")

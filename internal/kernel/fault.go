@@ -1,6 +1,8 @@
 package kernel
 
 import (
+	"fmt"
+
 	"hwdp/internal/cpu"
 	"hwdp/internal/mem"
 	"hwdp/internal/mmu"
@@ -8,13 +10,15 @@ import (
 	"hwdp/internal/pagetable"
 	"hwdp/internal/sim"
 	"hwdp/internal/smu"
+	"hwdp/internal/trace"
 )
 
 // handleFault is the MMU's exception entry point. ctx is the faulting
 // Thread (set by Access). hwFailed marks an HWDP miss bounced for an empty
-// free page queue.
+// free page queue. ms is the miss's trace context (nil when tracing is
+// disabled).
 func (k *Kernel) handleFault(ctx any, as *mmu.AddressSpace, va pagetable.VAddr,
-	write, hwFailed bool, done func()) {
+	write, hwFailed bool, ms *trace.Miss, done func()) {
 	th, ok := ctx.(*Thread)
 	if !ok || th == nil {
 		panic("kernel: fault without thread context")
@@ -38,31 +42,33 @@ func (k *Kernel) handleFault(ctx any, as *mmu.AddressSpace, va pagetable.VAddr,
 	}
 	if state == pagetable.StateResident || state == pagetable.StateResidentUnsynced {
 		// Raced with a concurrent fault that already mapped the page.
+		ms.SetCause(trace.CauseOSMinor)
 		done()
 		return
 	}
 
 	if k.cfg.Scheme == SWDP && state == pagetable.StateNotPresentLBA && !hwFailed {
-		k.swFault(th, as, va, vma, idx, done)
+		k.swFault(th, as, va, vma, idx, ms, done)
 		return
 	}
-	k.osFaultPath(th, as, va, vma, idx, hwFailed, done)
+	k.osFaultPath(th, as, va, vma, idx, hwFailed, ms, done)
 }
 
 // osFaultPath is the conventional OSDP page-fault handler: exception entry,
 // VMA triage, page-cache lookup (minor) or full storage I/O with a context
 // switch (major), then OS metadata and PTE updates — Figure 3's timeline.
 func (k *Kernel) osFaultPath(th *Thread, as *mmu.AddressSpace, va pagetable.VAddr,
-	vma *VMA, idx int, hwFailed bool, done func()) {
+	vma *VMA, idx int, hwFailed bool, ms *trace.Miss, done func()) {
 	c := k.cfg.Costs
 	hw := th.HW
 	key := pcKey{vma.File, idx}
-	k.kexec(hw, c.Exception+c.WalkInFault+c.HandlerEntry, func() {
+	k.kspan(ms, "exception-entry", hw, c.Exception+c.WalkInFault+c.HandlerEntry, func() {
 		// Minor fault: the page is already resident in the page cache
 		// (pages under writeback are still valid and mappable).
 		if pg := k.lookupPage(vma.File, idx); pg != nil {
 			k.stats.MinorFaults++
-			k.kexec(hw, c.MinorFault, func() {
+			ms.SetCause(trace.CauseOSMinor)
+			k.kspan(ms, "minor-fault", hw, c.MinorFault, func() {
 				k.mapPTE(as, va, vma, pg)
 				done()
 			})
@@ -73,8 +79,9 @@ func (k *Kernel) osFaultPath(th *Thread, as *mmu.AddressSpace, va pagetable.VAdd
 		// kernels, and the fallback for bounced hardware zero-fills.
 		if vma.Anon && !vma.swapped[idx] {
 			k.stats.MinorFaults++
+			ms.SetCause(trace.CauseOSMinor)
 			k.allocFrame(hw, func(frame mem.FrameID) {
-				k.kexec(hw, c.PageAlloc+c.PTEInstallReturn, func() {
+				k.kspan(ms, "page-alloc+pte-install", hw, c.PageAlloc+c.PTEInstallReturn, func() {
 					pg := k.insertPage(vma.st, vma.File, idx, frame,
 						mapping{as: as, va: va.PageBase(), vma: vma})
 					k.finishMap(as, va, vma, pg)
@@ -89,7 +96,7 @@ func (k *Kernel) osFaultPath(th *Thread, as *mmu.AddressSpace, va pagetable.VAdd
 					for _, s := range k.smus {
 						total += k.refillSMU(s)
 					}
-					k.kexec(hw, c.RefillPerFrame*sim.Time(total), done)
+					k.kspan(ms, "fault-queue-refill", hw, c.RefillPerFrame*sim.Time(total), done)
 				})
 			})
 			return
@@ -98,8 +105,11 @@ func (k *Kernel) osFaultPath(th *Thread, as *mmu.AddressSpace, va pagetable.VAdd
 		// serialization of real kernels): block until it finishes, then
 		// take the minor-fault path.
 		if waiters, inflight := k.faultInflight[key]; inflight {
+			ms.SetCause(trace.CauseOSMinor)
+			waitStart := k.eng.Now()
 			k.faultInflight[key] = append(waiters, func() {
-				k.kexec(hw, c.MinorFault, func() {
+				ms.AddSpan(trace.LayerKernel, "page-lock-wait", waitStart, k.eng.Now())
+				k.kspan(ms, "minor-fault", hw, c.MinorFault, func() {
 					if pg := k.lookupPage(vma.File, idx); pg != nil {
 						k.mapPTE(as, va, vma, pg)
 					}
@@ -110,11 +120,12 @@ func (k *Kernel) osFaultPath(th *Thread, as *mmu.AddressSpace, va pagetable.VAdd
 		}
 		k.faultInflight[key] = []func(){}
 		k.stats.MajorFaults++
+		ms.SetCause(trace.CauseOSMajor)
 		if hwFailed {
 			k.stats.HWBounceFaults++
 		}
 		k.allocFrame(hw, func(frame mem.FrameID) {
-			k.kexec(hw, c.PageAlloc+c.IOSubmit, func() {
+			k.kspan(ms, "page-alloc+io-submit", hw, c.PageAlloc+c.IOSubmit, func() {
 				blk, err := vma.st.fsys.Block(vma.File, idx)
 				if err != nil {
 					panic(err)
@@ -122,7 +133,7 @@ func (k *Kernel) osFaultPath(th *Thread, as *mmu.AddressSpace, va pagetable.VAdd
 				ioDone := false
 				ioStatus := nvme.StatusSuccess
 				var onIO func(status uint16)
-				k.submitIORetry(vma.st, hw, nvme.OpRead, blk.LBA, frame, func(status uint16) {
+				k.submitIORetry(vma.st, hw, nvme.OpRead, blk.LBA, frame, ms, func(status uint16) {
 					ioDone, ioStatus = true, status
 					if onIO != nil {
 						onIO(status)
@@ -130,7 +141,7 @@ func (k *Kernel) osFaultPath(th *Thread, as *mmu.AddressSpace, va pagetable.VAdd
 				})
 				// The thread blocks: schedule away while the device works.
 				hw.AccountContextSwitch()
-				k.kexec(hw, c.CtxSwitchOut, func() {
+				k.kspan(ms, "ctx-switch-out", hw, c.CtxSwitchOut, func() {
 					if hwFailed {
 						// Refill the free page queue, overlapped with the
 						// in-flight device I/O (AIOS-style, Section IV-D).
@@ -142,13 +153,13 @@ func (k *Kernel) osFaultPath(th *Thread, as *mmu.AddressSpace, va pagetable.VAdd
 					// Interrupt → block-layer completion → wake + schedule
 					// in → metadata + PTE install → return to user.
 					hw.AccountContextSwitch()
-					k.kexec(hw, c.InterruptDelivery+c.IOCompletion+c.WakeSchedule, func() {
+					k.kspan(ms, "irq+complete+wake", hw, c.InterruptDelivery+c.IOCompletion+c.WakeSchedule, func() {
 						if status != nvme.StatusSuccess {
 							// The read is unrecoverable even after block-layer
 							// retries: SIGBUS the faulting thread. Waiters on
 							// the page lock observe the missing page and fail
 							// their walks too — nobody hangs.
-							k.sigbus(th, as, va, frame)
+							k.sigbus(th, as, va, frame, ms)
 							waiters := k.faultInflight[key]
 							delete(k.faultInflight, key)
 							done()
@@ -157,7 +168,7 @@ func (k *Kernel) osFaultPath(th *Thread, as *mmu.AddressSpace, va pagetable.VAdd
 							}
 							return
 						}
-						k.kexec(hw, c.MetadataUpdate+c.PTEInstallReturn, func() {
+						k.kspan(ms, "metadata+pte-install", hw, c.MetadataUpdate+c.PTEInstallReturn, func() {
 							pg := k.insertPage(vma.st, vma.File, idx, frame,
 								mapping{as: as, va: va.PageBase(), vma: vma})
 							k.finishMap(as, va, vma, pg)
@@ -186,9 +197,12 @@ func (k *Kernel) osFaultPath(th *Thread, as *mmu.AddressSpace, va pagetable.VAdd
 // allocated for the read is returned, and a still-unresolved PTE is
 // poisoned to the plain not-present state so later accesses route straight
 // to the OS path instead of re-driving hardware at a bad block.
-func (k *Kernel) sigbus(th *Thread, as *mmu.AddressSpace, va pagetable.VAddr, frame mem.FrameID) {
+func (k *Kernel) sigbus(th *Thread, as *mmu.AddressSpace, va pagetable.VAddr, frame mem.FrameID, ms *trace.Miss) {
 	k.stats.SIGBUSKills++
 	th.Killed = true
+	if k.tracer != nil {
+		k.tracer.NoteKill(ms, fmt.Sprintf("SIGBUS: unrecoverable fault I/O at %#x", uint64(va)), k.eng.Now())
+	}
 	if frame != mem.NoFrame {
 		if err := k.mem.Free(frame); err != nil {
 			panic(err)
@@ -271,11 +285,12 @@ func (k *Kernel) refillSMU(s *smu.SMU) int {
 // monitor/mwait used to wait for the completion without a context switch.
 // OS metadata stays batched via kpted, like HWDP.
 func (k *Kernel) swFault(th *Thread, as *mmu.AddressSpace, va pagetable.VAddr,
-	vma *VMA, idx int, done func()) {
+	vma *VMA, idx int, ms *trace.Miss, done func()) {
 	c := k.cfg.Costs
 	hw := th.HW
 	k.stats.SWFaults++
-	k.kexec(hw, c.Exception+c.SWCheck, func() {
+	ms.SetCause(trace.CauseSWMiss)
+	k.kspan(ms, "exception+sw-check", hw, c.Exception+c.SWCheck, func() {
 		_, _, pte, ok := as.Table.Walk(va)
 		if !ok {
 			panic("kernel: sw fault on unpopulated table")
@@ -284,17 +299,25 @@ func (k *Kernel) swFault(th *Thread, as *mmu.AddressSpace, va pagetable.VAddr,
 		if waiters, dup := k.swPMSHR[addr]; dup {
 			// Emulated-PMSHR hit: wait for the original fault. mwait until
 			// the completion broadcast.
+			if ms != nil {
+				waitStart, orig := k.eng.Now(), done
+				done = func() {
+					ms.AddSpan(trace.LayerKernel, "sw-pmshr-wait", waitStart, k.eng.Now())
+					orig()
+				}
+			}
 			k.swPMSHR[addr] = append(waiters, done)
 			return
 		}
 		k.swPMSHR[addr] = nil
-		k.kexec(hw, c.SWPMSHR, func() {
+		k.kspan(ms, "sw-pmshr", hw, c.SWPMSHR, func() {
 			k.allocFrame(hw, func(frame mem.FrameID) {
 				blk := pte.Get().Block()
 				if blk.LBA == pagetable.AnonFirstTouch {
 					// Emulated SMU bypasses I/O for first-touch anonymous
 					// pages, like the hardware.
-					k.kexec(hw, c.SWComplete, func() {
+					ms.SetCause(trace.CauseAnonZeroFill)
+					k.kspan(ms, "sw-complete", hw, c.SWComplete, func() {
 						pud, pmd, pteRef, _ := as.Table.Walk(va)
 						pteRef.Set(pagetable.MakePresent(frame, vma.Prot, false))
 						pagetable.MarkUnsynced(pud, pmd)
@@ -307,18 +330,18 @@ func (k *Kernel) swFault(th *Thread, as *mmu.AddressSpace, va pagetable.VAddr,
 					})
 					return
 				}
-				k.kexec(hw, c.SWSubmit, func() {
+				k.kspan(ms, "sw-submit", hw, c.SWSubmit, func() {
 					th.beginStall(k) // mwait: core waits, issues nothing
-					k.submitIORetry(vma.st, hw, nvme.OpRead, blk.LBA, frame, func(status uint16) {
+					k.submitIORetry(vma.st, hw, nvme.OpRead, blk.LBA, frame, ms, func(status uint16) {
 						// The interrupt handler touches the monitored
 						// address; the mwait returns and the routine
 						// finishes the miss.
 						th.endStall()
-						k.kexec(hw, c.InterruptDelivery+c.SWComplete, func() {
+						k.kspan(ms, "irq+sw-complete", hw, c.InterruptDelivery+c.SWComplete, func() {
 							if status != nvme.StatusSuccess {
 								// Unrecoverable: SIGBUS, and fail every fault
 								// coalesced on the emulated PMSHR entry.
-								k.sigbus(th, as, va, frame)
+								k.sigbus(th, as, va, frame, ms)
 								waiters := k.swPMSHR[addr]
 								delete(k.swPMSHR, addr)
 								done()

@@ -20,6 +20,7 @@ import (
 	"hwdp/internal/sim"
 	"hwdp/internal/smu"
 	"hwdp/internal/ssd"
+	"hwdp/internal/trace"
 )
 
 // Scheme selects the demand-paging implementation.
@@ -34,6 +35,7 @@ const (
 	HWDP
 )
 
+// String returns the scheme's display name.
 func (s Scheme) String() string {
 	switch s {
 	case OSDP:
@@ -280,6 +282,7 @@ type Kernel struct {
 	reclaiming bool
 	stats      Stats
 	started    bool
+	tracer     *trace.Tracer
 }
 
 // New wires a kernel over the machine components. Background threads run on
@@ -309,6 +312,11 @@ func New(eng *sim.Engine, c *cpu.CPU, m *mem.Memory, mm *mmu.MMU, cfg Config,
 	mm.DispatchHW = cfg.Scheme == HWDP
 	return k
 }
+
+// SetTracer attaches the observability tracer (nil disables tracing; that
+// is the default). The kernel uses it to snapshot the flight recorder on
+// SIGBUS kills; span recording goes through the per-miss contexts.
+func (k *Kernel) SetTracer(t *trace.Tracer) { k.tracer = t }
 
 // Stats returns a copy of the counters.
 func (k *Kernel) Stats() Stats { return k.stats }
@@ -403,6 +411,22 @@ func (k *Kernel) kexec(hw *cpu.HWThread, d sim.Time, fn func()) {
 	k.cpu.KernelExec(hw, d, fn)
 }
 
+// kspan is kexec plus span recording: when the miss is traced, the kernel
+// phase is charged from now until fn actually runs — which includes any
+// wait for the hardware thread, the real critical-path cost. With tracing
+// off (ms == nil) it is exactly kexec: no extra closure, no allocation.
+func (k *Kernel) kspan(ms *trace.Miss, name string, hw *cpu.HWThread, d sim.Time, fn func()) {
+	if ms == nil {
+		k.kexec(hw, d, fn)
+		return
+	}
+	start := k.eng.Now()
+	k.kexec(hw, d, func() {
+		ms.AddSpan(trace.LayerKernel, name, start, k.eng.Now())
+		fn()
+	})
+}
+
 // osQueueFor returns (lazily creating) the per-hardware-thread OS queue
 // pair on a storage device.
 func (k *Kernel) osQueueFor(st *storage, hw *cpu.HWThread) *osQueue {
@@ -443,7 +467,7 @@ func (k *Kernel) osInterrupt(q *osQueue, _ nvme.Completion) {
 // arrives in time, the command is aborted and done receives the
 // host-synthesized StatusHostTimeout.
 func (k *Kernel) submitIO(st *storage, hw *cpu.HWThread, op nvme.Opcode, lba uint64,
-	frame mem.FrameID, done func(status uint16)) {
+	frame mem.FrameID, ms *trace.Miss, done func(status uint16)) {
 	q := k.osQueueFor(st, hw)
 	cid := q.nextCID
 	q.nextCID++
@@ -457,6 +481,7 @@ func (k *Kernel) submitIO(st *storage, hw *cpu.HWThread, op nvme.Opcode, lba uin
 			delete(q.pending, cid)
 			st.dev.Abort(q.qp.ID, cid)
 			k.stats.BlockTimeouts++
+			ms.Mark(trace.LayerKernel, "block-timeout", k.eng.Now())
 			done(nvme.StatusHostTimeout)
 		})
 	}
@@ -466,6 +491,7 @@ func (k *Kernel) submitIO(st *storage, hw *cpu.HWThread, op nvme.Opcode, lba uin
 		NSID:   st.fsys.NSID(),
 		PRP1:   uint64(frame) * mem.PageSize,
 		SLBA:   lba,
+		Trace:  ms,
 	}
 	if err := q.qp.Submit(cmd); err != nil {
 		panic(fmt.Sprintf("kernel: OS queue overflow: %v", err))
@@ -478,11 +504,11 @@ func (k *Kernel) submitIO(st *storage, hw *cpu.HWThread, op nvme.Opcode, lba uin
 // Config.BlockRetries resubmissions. done receives the final status —
 // retries are invisible to the caller except as latency.
 func (k *Kernel) submitIORetry(st *storage, hw *cpu.HWThread, op nvme.Opcode, lba uint64,
-	frame mem.FrameID, done func(status uint16)) {
+	frame mem.FrameID, ms *trace.Miss, done func(status uint16)) {
 	attempt := 1
 	var try func()
 	try = func() {
-		k.submitIO(st, hw, op, lba, frame, func(status uint16) {
+		k.submitIO(st, hw, op, lba, frame, ms, func(status uint16) {
 			if status == nvme.StatusSuccess || !nvme.StatusRetryable(status) ||
 				attempt > k.cfg.BlockRetries {
 				done(status)
@@ -491,6 +517,8 @@ func (k *Kernel) submitIORetry(st *storage, hw *cpu.HWThread, op nvme.Opcode, lb
 			k.stats.BlockRetries++
 			delay := k.cfg.BlockRetryDelay << (attempt - 1)
 			attempt++
+			now := k.eng.Now()
+			ms.AddSpan(trace.LayerKernel, "block-retry-backoff", now, now+delay)
 			k.eng.After(delay, try)
 		})
 	}

@@ -173,7 +173,7 @@ func (k *Kernel) evictPage(hw *cpu.HWThread, pg *Page, done func()) {
 	k.stats.Writebacks++
 	blk, _ := pg.st.fsys.Block(pg.file, pg.idx)
 	k.kexec(hw, k.cfg.Costs.EvictPerPage+k.cfg.Costs.WritebackSubmit, func() {
-		k.submitIORetry(pg.st, hw, nvme.OpWrite, blk.LBA, pg.frame, func(status uint16) {
+		k.submitIORetry(pg.st, hw, nvme.OpWrite, blk.LBA, pg.frame, nil, func(status uint16) {
 			if status != nvme.StatusSuccess {
 				// Retries exhausted: the page's disk copy is stale. Count it
 				// and move on — the frame is reclaimed regardless (data-loss

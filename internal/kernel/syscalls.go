@@ -248,7 +248,7 @@ func (k *Kernel) unmapOne(p *Process, vma *VMA, va pagetable.VAddr, pte pagetabl
 		pg.wb = true
 		k.stats.Writebacks++
 		blk, _ := vma.st.fsys.Block(pg.file, pg.idx)
-		k.submitIORetry(vma.st, k.kswapdHW, nvme.OpWrite, blk.LBA, pg.frame, func(status uint16) {
+		k.submitIORetry(vma.st, k.kswapdHW, nvme.OpWrite, blk.LBA, pg.frame, nil, func(status uint16) {
 			if status != nvme.StatusSuccess {
 				k.stats.WritebackErrors++
 			}
@@ -302,7 +302,7 @@ func (k *Kernel) Msync(th *Thread, start pagetable.VAddr, done func()) {
 			cost += c.WritebackSubmit
 			blk, _ := vma.st.fsys.Block(pg.file, pg.idx)
 			outstanding++
-			k.submitIORetry(vma.st, th.HW, nvme.OpWrite, blk.LBA, pg.frame, func(status uint16) {
+			k.submitIORetry(vma.st, th.HW, nvme.OpWrite, blk.LBA, pg.frame, nil, func(status uint16) {
 				if status != nvme.StatusSuccess {
 					k.stats.WritebackErrors++
 				}
@@ -352,7 +352,7 @@ func (k *Kernel) WriteRaw(th *Thread, sid, devID uint8, f *fs.File, page int, do
 		k.walBuffer = f
 	}
 	k.kexec(th.HW, k.cfg.Costs.IOSubmit/2, func() {
-		k.submitIORetry(st, th.HW, nvme.OpWrite, blk.LBA, k.walBuffer, func(status uint16) {
+		k.submitIORetry(st, th.HW, nvme.OpWrite, blk.LBA, k.walBuffer, nil, func(status uint16) {
 			if status != nvme.StatusSuccess {
 				k.stats.WritebackErrors++
 			}

@@ -124,7 +124,15 @@ func (h *Histogram) Max() int64 {
 	return h.max
 }
 
+// bucketEnd returns the exclusive upper bound of bucket idx. Indices are
+// contiguous, so this is just the next bucket's lower bound.
+func bucketEnd(idx int32) int64 { return bucketLow(idx + 1) }
+
 // Percentile returns the approximate p-th percentile (p in [0,100]).
+// Within the bucket containing the target rank, the value is linearly
+// interpolated assuming samples are evenly spread over the bucket, so
+// quantiles no longer snap to bucket lower bounds (which understated
+// p50/p99 by up to one bucket width, ~3%).
 func (h *Histogram) Percentile(p float64) int64 {
 	if h.count == 0 {
 		return 0
@@ -143,16 +151,29 @@ func (h *Histogram) Percentile(p float64) int64 {
 	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
 	var cum uint64
 	for _, idx := range idxs {
-		cum += h.buckets[idx]
+		n := h.buckets[idx]
+		cum += n
 		if cum >= target {
 			lo := bucketLow(idx)
-			if lo < h.min {
-				lo = h.min
+			hi := bucketEnd(idx)
+			// The target rank is sample (target - cumBefore) of the n in
+			// this bucket; treat each as sitting at the midpoint of its
+			// 1/n slice of [lo, hi).
+			rank := float64(target-(cum-n)) - 0.5
+			v := lo + int64(rank/float64(n)*float64(hi-lo))
+			if v >= hi {
+				v = hi - 1
 			}
-			if lo > h.max {
-				lo = h.max
+			if v < lo {
+				v = lo
 			}
-			return lo
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
 		}
 	}
 	return h.max

@@ -159,3 +159,134 @@ func TestBreakdownEmptyTotal(t *testing.T) {
 		t.Fatal("empty render missing TOTAL")
 	}
 }
+
+// TestHistogramPercentileInterpolation pins exact quantile values on known
+// distributions. Before intra-bucket interpolation, Percentile snapped to
+// the bucket's lower bound, understating every quantile by up to one
+// bucket width.
+func TestHistogramPercentileInterpolation(t *testing.T) {
+	cases := []struct {
+		name   string
+		record func(h *Histogram)
+		checks []struct {
+			p    float64
+			want int64
+			tol  int64 // absolute tolerance; 0 means exact
+		}
+	}{
+		{
+			name: "uniform 1..1000",
+			record: func(h *Histogram) {
+				for i := int64(1); i <= 1000; i++ {
+					h.Record(i)
+				}
+			},
+			checks: []struct {
+				p    float64
+				want int64
+				tol  int64
+			}{
+				{50, 500, 1},
+				{99, 990, 2},
+				{99.9, 999, 2},
+			},
+		},
+		{
+			name: "small values are exact", // v < 32 gets its own bucket
+			record: func(h *Histogram) {
+				for _, v := range []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+					h.Record(v)
+				}
+			},
+			checks: []struct {
+				p    float64
+				want int64
+				tol  int64
+			}{
+				{10, 1, 0},
+				{50, 5, 0},
+				{90, 9, 0},
+				{99, 10, 0},
+			},
+		},
+		{
+			name: "repeated single value",
+			record: func(h *Histogram) {
+				for i := 0; i < 100; i++ {
+					h.Record(7777)
+				}
+			},
+			checks: []struct {
+				p    float64
+				want int64
+				tol  int64
+			}{
+				{50, 7777, 0}, // clamped to [min, max]
+				{99, 7777, 0},
+				{99.9, 7777, 0},
+			},
+		},
+		{
+			name: "single huge sample clamps to max",
+			record: func(h *Histogram) {
+				h.Record(1 << 50)
+			},
+			checks: []struct {
+				p    float64
+				want int64
+				tol  int64
+			}{
+				{50, 1 << 50, 0},
+				{99.9, 1 << 50, 0},
+			},
+		},
+		{
+			name: "bimodal 10/1000",
+			record: func(h *Histogram) {
+				for i := 0; i < 90; i++ {
+					h.Record(10)
+				}
+				for i := 0; i < 10; i++ {
+					h.Record(1000)
+				}
+			},
+			checks: []struct {
+				p    float64
+				want int64
+				tol  int64
+			}{
+				{50, 10, 0},
+				{90, 10, 0},
+				{99, 1000, 16}, // one bucket width at 1000 (~1.6%)
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram()
+			tc.record(h)
+			for _, c := range tc.checks {
+				got := h.Percentile(c.p)
+				if d := got - c.want; d < -c.tol || d > c.tol {
+					t.Errorf("p%g = %d, want %d ±%d", c.p, got, c.want, c.tol)
+				}
+			}
+		})
+	}
+}
+
+// TestHistogramPercentileWithinBucket checks the interpolated value never
+// escapes the bucket that contains the target rank, and never escapes
+// [min, max].
+func TestHistogramPercentileWithinBucket(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(100); i < 200; i += 3 {
+		h.Record(i)
+	}
+	for p := 1.0; p < 100; p += 0.5 {
+		v := h.Percentile(p)
+		if v < h.Min() || v > h.Max() {
+			t.Fatalf("p%g = %d escapes [%d, %d]", p, v, h.Min(), h.Max())
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"hwdp/internal/pagetable"
 	"hwdp/internal/sim"
 	"hwdp/internal/smu"
+	"hwdp/internal/trace"
 )
 
 // Outcome classifies how an access was satisfied.
@@ -34,6 +35,7 @@ const (
 	OutcomeBadAddr
 )
 
+// String returns the walk outcome's display name.
 func (o Outcome) String() string {
 	switch o {
 	case OutcomeTLBHit:
@@ -58,8 +60,9 @@ type CoreCarrier interface{ CoreID() int }
 // resolves the fault (possibly blocking the thread) and calls done; the
 // MMU then re-walks. hwFailed distinguishes Table I row 1 faults from
 // hardware misses bounced for lack of a free page (the kernel must refill
-// the free page queue in that case).
-type OSFaultFunc func(ctx any, as *AddressSpace, va pagetable.VAddr, write, hwFailed bool, done func())
+// the free page queue in that case). ms is the miss's trace context (nil
+// when tracing is disabled); the kernel attaches its phase spans to it.
+type OSFaultFunc func(ctx any, as *AddressSpace, va pagetable.VAddr, write, hwFailed bool, ms *trace.Miss, done func())
 
 // AddressSpace couples a page table with an ASID for TLB tagging.
 type AddressSpace struct {
@@ -106,6 +109,10 @@ type MMU struct {
 	// LBA-augmented pages are fetched speculatively (nobody waits on them;
 	// the SMU installs their PTEs when the blocks arrive). Zero disables.
 	PrefetchDegree int
+
+	// Tracer, when non-nil, opens a per-miss trace context on every walk
+	// that misses and threads it through the SMU or the OS fault path.
+	Tracer *trace.Tracer
 
 	osFault OSFaultFunc
 	stats   Stats
@@ -162,16 +169,24 @@ func (m *MMU) Access(as *AddressSpace, va pagetable.VAddr, write bool, ctx any, 
 		m.tlb.Invalidate(as.ASID, vpn)
 	}
 	m.stats.Walks++
-	m.eng.After(m.WalkLatency, func() { m.walk(ctx, as, va, write, done, false) })
+	t0 := m.eng.Now()
+	m.eng.After(m.WalkLatency, func() { m.walk(ctx, as, va, write, done, false, t0, nil) })
 }
 
-func (m *MMU) walk(ctx any, as *AddressSpace, va pagetable.VAddr, write bool, done func(Result), retried bool) {
+// walk resolves one page-table walk. t0 is when the TLB missed (the walk
+// began); ms is the miss's trace context, nil until the walk turns out to
+// be a miss (and always nil when tracing is disabled).
+func (m *MMU) walk(ctx any, as *AddressSpace, va pagetable.VAddr, write bool, done func(Result), retried bool, t0 sim.Time, ms *trace.Miss) {
+	core := 0
+	if cc, okc := ctx.(CoreCarrier); okc {
+		core = cc.CoreID()
+	}
 	pud, pmd, pte, ok := as.Table.Walk(va)
 	if !ok {
 		// No page-table structure at all: a conventional OS fault (mmap'ed
 		// but never populated — the OS allocates tables) or a segfault; the
 		// kernel decides.
-		m.raiseOS(ctx, as, va, write, false, done, retried)
+		m.raiseOS(ctx, as, va, write, false, done, retried, t0, core, ms)
 		return
 	}
 	e := pte.Get()
@@ -184,13 +199,14 @@ func (m *MMU) walk(ctx any, as *AddressSpace, va pagetable.VAddr, write bool, do
 		}
 		pte.Set(e.WithFlags(flags))
 		m.tlb.Insert(as.ASID, va.PageNumber(), pte)
+		ms.Finish(m.eng.Now())
 		done(Result{OutcomeWalkHit, pte.Get()})
 
 	case pagetable.StateNotPresentLBA:
 		if !m.DispatchHW {
 			// SW-only scheme: the exception is raised and the kernel's
 			// software SMU emulation takes over.
-			m.raiseOS(ctx, as, va, write, false, done, retried)
+			m.raiseOS(ctx, as, va, write, false, done, retried, t0, core, ms)
 			return
 		}
 		// Both checks in one walk step: present clear, LBA set → request
@@ -201,11 +217,13 @@ func (m *MMU) walk(ctx any, as *AddressSpace, va pagetable.VAddr, write bool, do
 			panic(fmt.Sprintf("mmu: PTE names socket %d with no SMU", blk.SID))
 		}
 		m.stats.HWMisses++
-		core := 0
-		if cc, okc := ctx.(CoreCarrier); okc {
-			core = cc.CoreID()
+		if ms == nil {
+			ms = m.Tracer.Begin(core, uint64(va), trace.CauseHWMiss, t0)
 		}
-		req := smu.Request{PUD: pud, PMD: pmd, PTE: pte, Block: blk, Prot: e.Prot(), Core: core}
+		if !retried {
+			ms.AddSpan(trace.LayerMMU, "tlb-miss+walk", t0, m.eng.Now())
+		}
+		req := smu.Request{PUD: pud, PMD: pmd, PTE: pte, Block: blk, Prot: e.Prot(), Core: core, Trace: ms}
 		s.HandleMiss(req, func(res smu.Result, newPTE pagetable.Entry) {
 			switch res {
 			case smu.ResultOK:
@@ -213,18 +231,20 @@ func (m *MMU) walk(ctx any, as *AddressSpace, va pagetable.VAddr, write bool, do
 					pte.Set(pte.Get().WithFlags(pagetable.FlagDirty))
 				}
 				m.tlb.Insert(as.ASID, va.PageNumber(), pte)
+				ms.Finish(m.eng.Now())
 				done(Result{OutcomeHW, pte.Get()})
 			default:
 				// Free page queue empty (or I/O error): raise the
 				// exception after all.
 				m.stats.HWBounced++
-				m.raiseOS(ctx, as, va, write, true, done, retried)
+				ms.SetCause(trace.CauseBounced)
+				m.raiseOS(ctx, as, va, write, true, done, retried, t0, core, ms)
 			}
 		})
 		m.prefetch(as, va, core, s)
 
 	case pagetable.StateNotPresentOS:
-		m.raiseOS(ctx, as, va, write, false, done, retried)
+		m.raiseOS(ctx, as, va, write, false, done, retried, t0, core, ms)
 	}
 }
 
@@ -256,13 +276,19 @@ func (m *MMU) prefetch(as *AddressSpace, va pagetable.VAddr, core int, s *smu.SM
 	}
 }
 
-func (m *MMU) raiseOS(ctx any, as *AddressSpace, va pagetable.VAddr, write, hwFailed bool, done func(Result), retried bool) {
+func (m *MMU) raiseOS(ctx any, as *AddressSpace, va pagetable.VAddr, write, hwFailed bool, done func(Result), retried bool, t0 sim.Time, core int, ms *trace.Miss) {
 	if m.osFault == nil || retried {
+		ms.Finish(m.eng.Now())
 		done(Result{Outcome: OutcomeBadAddr})
 		return
 	}
 	m.stats.OSFaults++
-	m.osFault(ctx, as, va, write, hwFailed, func() {
+	if ms == nil {
+		// Cause is refined by the kernel once it has triaged the fault.
+		ms = m.Tracer.Begin(core, uint64(va), trace.CauseUnknown, t0)
+		ms.AddSpan(trace.LayerMMU, "tlb-miss+walk", t0, m.eng.Now())
+	}
+	m.osFault(ctx, as, va, write, hwFailed, ms, func() {
 		// Re-walk once the kernel resolved the fault; a second failure is
 		// fatal for the access (the kernel would deliver SIGSEGV). The
 		// overall access is reported as an OS fault regardless of how the
@@ -271,7 +297,8 @@ func (m *MMU) raiseOS(ctx any, as *AddressSpace, va pagetable.VAddr, write, hwFa
 			if r.Outcome == OutcomeWalkHit || r.Outcome == OutcomeHW {
 				r.Outcome = OutcomeOSFault
 			}
+			ms.Finish(m.eng.Now())
 			done(r)
-		}, true)
+		}, true, t0, ms)
 	})
 }

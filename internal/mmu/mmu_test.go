@@ -10,6 +10,7 @@ import (
 	"hwdp/internal/sim"
 	"hwdp/internal/smu"
 	"hwdp/internal/ssd"
+	"hwdp/internal/trace"
 )
 
 func TestTLBBasics(t *testing.T) {
@@ -204,7 +205,7 @@ func TestOSFaultPath(t *testing.T) {
 	r := newRig(t, 8)
 	r.as.Table.Set(0x7000, pagetable.MakeSwap(9, pagetable.Prot{}))
 	faults := 0
-	r.m.SetOSFaultHandler(func(ctx any, as *AddressSpace, va pagetable.VAddr, write, hwFailed bool, done func()) {
+	r.m.SetOSFaultHandler(func(ctx any, as *AddressSpace, va pagetable.VAddr, write, hwFailed bool, ms *trace.Miss, done func()) {
 		faults++
 		if hwFailed {
 			t.Fatal("conventional fault flagged as hw-failed")
@@ -231,7 +232,7 @@ func TestHWMissBouncesToOSWhenNoFreePage(t *testing.T) {
 	blk := pagetable.BlockAddr{SID: 0, DeviceID: 0, LBA: 3}
 	r.as.Table.Set(0x9000, pagetable.MakeLBA(blk, pagetable.Prot{}))
 	hwFailedSeen := false
-	r.m.SetOSFaultHandler(func(ctx any, as *AddressSpace, va pagetable.VAddr, write, hwFailed bool, done func()) {
+	r.m.SetOSFaultHandler(func(ctx any, as *AddressSpace, va pagetable.VAddr, write, hwFailed bool, ms *trace.Miss, done func()) {
 		hwFailedSeen = hwFailed
 		r.eng.After(sim.Micro(15), func() {
 			as.Table.Set(va.PageBase(), pagetable.MakePresent(55, pagetable.Prot{}, true))

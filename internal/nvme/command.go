@@ -10,6 +10,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"hwdp/internal/trace"
 )
 
 // Opcode is an NVMe I/O command opcode.
@@ -22,6 +24,7 @@ const (
 	OpRead  Opcode = 0x02
 )
 
+// String returns the opcode's NVMe mnemonic.
 func (o Opcode) String() string {
 	switch o {
 	case OpFlush:
@@ -53,6 +56,12 @@ type Command struct {
 	SLBA   uint64 // starting LBA
 	NLB    uint16 // number of logical blocks, 0-based per spec
 	Urgent bool   // storage-side urgent priority (Section V)
+
+	// Trace is simulator-side metadata, not wire data: the trace context
+	// of the page miss this command serves (nil when tracing is disabled
+	// or the command is not miss I/O). It rides alongside the 64-byte
+	// entry so the device model can attribute queue-wait and media time.
+	Trace *trace.Miss
 }
 
 // Blocks returns the transfer length in logical blocks.

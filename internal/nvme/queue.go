@@ -89,6 +89,9 @@ func (q *QueuePair) Submit(c Command) error {
 	if err != nil {
 		return err
 	}
+	// The trace context is simulator metadata, not wire data: carry it
+	// across the round trip explicitly.
+	dec.Trace = c.Trace
 	q.sq[q.sqTail] = dec
 	q.sqTail = (q.sqTail + 1) % q.depth
 	q.submitted++

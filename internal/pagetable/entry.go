@@ -128,6 +128,7 @@ type BlockAddr struct {
 	LBA      uint64
 }
 
+// String renders the block address, distinguishing the none sentinel.
 func (b BlockAddr) String() string {
 	return fmt.Sprintf("sid%d/dev%d/lba%d", b.SID, b.DeviceID, b.LBA)
 }
@@ -192,6 +193,7 @@ const (
 	StateResident
 )
 
+// String returns the page state's display name.
 func (s State) String() string {
 	switch s {
 	case StateNotPresentOS:

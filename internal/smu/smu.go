@@ -15,6 +15,7 @@ import (
 	"hwdp/internal/pagetable"
 	"hwdp/internal/sim"
 	"hwdp/internal/ssd"
+	"hwdp/internal/trace"
 )
 
 // PMSHREntries is the number of page-miss status holding registers; it
@@ -37,6 +38,7 @@ const (
 	ResultIOError
 )
 
+// String returns the SMU result's display name.
 func (r Result) String() string {
 	switch r {
 	case ResultOK:
@@ -59,6 +61,10 @@ type Request struct {
 	Block         pagetable.BlockAddr
 	Prot          pagetable.Prot
 	Core          int
+
+	// Trace is the miss's trace context (nil when tracing is disabled);
+	// the SMU attaches its handling-phase spans to it.
+	Trace *trace.Miss
 }
 
 // DoneFunc receives the handling outcome and, on success, the new PTE
@@ -137,6 +143,7 @@ type devSlot struct {
 type backlogItem struct {
 	req  Request
 	done DoneFunc
+	at   sim.Time // when the request began waiting for a PMSHR slot
 }
 
 type barrier struct {
@@ -306,6 +313,8 @@ func (s *SMU) HandleMiss(req Request, done DoneFunc) {
 	t := s.timing
 	lookupCost := 2*t.ReqRegWrite + t.CAMLookup
 	s.trace("request regs + CAM lookup", lookupCost)
+	now := s.eng.Now()
+	req.Trace.AddSpan(trace.LayerSMU, "req-regs+cam", now, now+lookupCost)
 	s.eng.After(lookupCost, func() { s.admit(req, done) })
 }
 
@@ -314,6 +323,13 @@ func (s *SMU) admit(req Request, done DoneFunc) {
 	if e, dup := s.pmshr[addr]; dup {
 		// Outstanding miss to the same page: coalesce; the pending walk
 		// resumes on the broadcast.
+		if req.Trace != nil {
+			at, ms, orig := s.eng.Now(), req.Trace, done
+			done = func(res Result, pte pagetable.Entry) {
+				ms.AddSpan(trace.LayerSMU, "pmshr-coalesce-wait", at, s.eng.Now())
+				orig(res, pte)
+			}
+		}
 		e.waiters = append(e.waiters, done)
 		s.stats.Coalesced++
 		return
@@ -325,13 +341,15 @@ func (s *SMU) admit(req Request, done DoneFunc) {
 		// race; answer with the installed translation instead of fetching
 		// a duplicate frame (which would alias the page).
 		s.stats.LateHits++
+		now := s.eng.Now()
+		req.Trace.AddSpan(trace.LayerSMU, "late-hit-notify", now, now+s.timing.Notify)
 		s.eng.After(s.timing.Notify, func() { done(ResultOK, cur) })
 		return
 	}
 
 	if len(s.freeIdx) == 0 {
 		// All PMSHRs busy: the walk stays pending until a slot frees.
-		s.backlog = append(s.backlog, backlogItem{req, done})
+		s.backlog = append(s.backlog, backlogItem{req, done, s.eng.Now()})
 		s.stats.Backlogged++
 		return
 	}
@@ -373,6 +391,10 @@ func (s *SMU) admit(req Request, done DoneFunc) {
 	s.trace("PMSHR write", t.PMSHRWrite)
 	s.trace("NVMe cmd write", t.CmdWrite)
 	s.trace("SQ doorbell", t.Doorbell)
+	now := s.eng.Now()
+	req.Trace.AddSpan(trace.LayerSMU, "free-page-fetch", now, now+fetchCost)
+	req.Trace.AddSpan(trace.LayerSMU, "pmshr-write", now+fetchCost, now+fetchCost+t.PMSHRWrite)
+	req.Trace.AddSpan(trace.LayerNVMe, "nvme-cmd-write", now+fetchCost+t.PMSHRWrite, now+fetchCost+t.PMSHRWrite+t.CmdWrite)
 	issueCost := fetchCost + t.PMSHRWrite + t.CmdWrite
 	s.eng.After(issueCost, func() { s.issue(e) })
 }
@@ -410,12 +432,15 @@ func (s *SMU) issue(e *pmshrEntry) {
 		PRP1:   e.frame.DMA,
 		SLBA:   e.req.Block.LBA,
 		NLB:    0, // one 4 KiB block, no PRP list
+		Trace:  e.req.Trace,
 	}
 	if err := e.dev.qp.Submit(cmd); err != nil {
 		// Isolated queue sized to PMSHR depth: overflow is a model bug.
 		panic(fmt.Sprintf("smu: submit failed: %v", err))
 	}
 	t := s.timing
+	now := s.eng.Now()
+	e.req.Trace.AddSpan(trace.LayerNVMe, "sq-doorbell", now, now+t.Doorbell)
 	s.eng.After(t.Doorbell, func() {
 		e.dev.dev.RingSQDoorbell(e.dev.qp.ID)
 		// Opportunistically refill the prefetch buffer during the
@@ -435,6 +460,7 @@ func (s *SMU) issue(e *pmshrEntry) {
 func (s *SMU) onTimeout(e *pmshrEntry) {
 	e.timeout = nil
 	s.stats.Timeouts++
+	e.req.Trace.Mark(trace.LayerNVMe, "cmd-timeout", s.eng.Now())
 	e.dev.dev.Abort(e.dev.qp.ID, e.cid)
 	s.recover(e, nvme.StatusHostTimeout)
 }
@@ -449,6 +475,8 @@ func (s *SMU) recover(e *pmshrEntry, status uint16) {
 		e.cid = 0
 		backoff := s.policy.Backoff << (e.attempts - 1)
 		s.stats.Retries++
+		now := s.eng.Now()
+		e.req.Trace.AddSpan(trace.LayerSMU, "retry-backoff", now, now+backoff)
 		s.eng.After(backoff, func() { s.issue(e) })
 		return
 	}
@@ -488,6 +516,12 @@ func (s *SMU) admitAnon(req Request, done DoneFunc) {
 	s.trace("free page fetch", fetchCost)
 	s.trace("PT update", t.PTUpdate)
 	s.trace("notify MMU", t.Notify)
+	req.Trace.SetCause(trace.CauseAnonZeroFill)
+	now := s.eng.Now()
+	req.Trace.AddSpan(trace.LayerSMU, "free-page-fetch", now, now+fetchCost)
+	req.Trace.AddSpan(trace.LayerSMU, "pmshr-write", now+fetchCost, now+fetchCost+t.PMSHRWrite)
+	req.Trace.AddSpan(trace.LayerSMU, "pt-update", now+fetchCost+t.PMSHRWrite, now+fetchCost+t.PMSHRWrite+t.PTUpdate)
+	req.Trace.AddSpan(trace.LayerSMU, "notify-mmu", now+fetchCost+t.PMSHRWrite+t.PTUpdate, now+fetchCost+t.PMSHRWrite+t.PTUpdate+t.Notify)
 	s.eng.After(fetchCost+t.PMSHRWrite+t.PTUpdate+t.Notify, func() {
 		pte := pagetable.MakePresent(rec.PFN, req.Prot, false)
 		req.PTE.Set(pte)
@@ -505,6 +539,7 @@ func (s *SMU) admitAnon(req Request, done DoneFunc) {
 func (s *SMU) onSnoop(dev *devSlot, _ nvme.Completion) {
 	t := s.timing
 	s.trace("CQ handle", t.CQHandle)
+	snoopAt := s.eng.Now()
 	s.eng.After(t.CQHandle, func() {
 		cp, ok := dev.qp.PollCQ()
 		if !ok {
@@ -517,16 +552,20 @@ func (s *SMU) onSnoop(dev *devSlot, _ nvme.Completion) {
 			// moved on, or already failed the walk): drop it.
 			return
 		}
+		e.req.Trace.AddSpan(trace.LayerNVMe, "cq-handle", snoopAt, s.eng.Now())
 		if e.timeout != nil {
 			e.timeout.Cancel()
 			e.timeout = nil
 		}
 		if !cp.OK() {
 			s.stats.IOErrors++
+			e.req.Trace.Mark(trace.LayerNVMe, "error-completion", s.eng.Now())
 			s.recover(e, cp.Status)
 			return
 		}
 		s.trace("PT update", t.PTUpdate)
+		ptAt := s.eng.Now()
+		e.req.Trace.AddSpan(trace.LayerSMU, "pt-update", ptAt, ptAt+t.PTUpdate)
 		s.eng.After(t.PTUpdate, func() {
 			// Replace the LBA field with the PFN; leave the PTE's LBA bit
 			// set so kpted later updates OS metadata, and mark the upper
@@ -535,6 +574,8 @@ func (s *SMU) onSnoop(dev *devSlot, _ nvme.Completion) {
 			e.req.PTE.Set(pte)
 			pagetable.MarkUnsynced(e.req.PUD, e.req.PMD)
 			s.trace("notify MMU", t.Notify)
+			notifyAt := s.eng.Now()
+			e.req.Trace.AddSpan(trace.LayerSMU, "notify-mmu", notifyAt, notifyAt+t.Notify)
 			s.eng.After(t.Notify, func() {
 				s.stats.Handled++
 				s.finish(e, ResultOK, pte)
@@ -570,6 +611,7 @@ func (s *SMU) finish(e *pmshrEntry, res Result, pte pagetable.Entry) {
 	if len(s.backlog) > 0 {
 		item := s.backlog[0]
 		s.backlog = s.backlog[1:]
+		item.req.Trace.AddSpan(trace.LayerSMU, "pmshr-backlog-wait", item.at, s.eng.Now())
 		s.admit(item.req, item.done)
 	}
 }

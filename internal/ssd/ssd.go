@@ -16,6 +16,7 @@ import (
 	"hwdp/internal/fault"
 	"hwdp/internal/nvme"
 	"hwdp/internal/sim"
+	"hwdp/internal/trace"
 )
 
 // Profile is a device latency/parallelism model.
@@ -97,7 +98,8 @@ type flightKey struct {
 type flight struct {
 	ev      *sim.Event
 	cleanup func()
-	release func() // reclaims channel time on abort
+	release func()      // reclaims channel time on abort
+	ms      *trace.Miss // miss context of the command, for abort markers
 }
 
 // Device is one simulated NVMe SSD.
@@ -183,6 +185,7 @@ func (d *Device) service(at *attachment, cmd nvme.Command) {
 	}
 	if status != nvme.StatusSuccess {
 		// Errors complete quickly without touching media.
+		cmd.Trace.Mark(trace.LayerSSD, "rejected", now)
 		d.eng.After(sim.Nano(500), func() { d.complete(at, cmd, status) })
 		return
 	}
@@ -225,12 +228,20 @@ func (d *Device) service(at *attachment, cmd nvme.Command) {
 	if cmd.Opcode == nvme.OpRead {
 		d.stats.ReadLatencySum += done - now
 	}
+	if cmd.Trace != nil {
+		// Spans are recorded at schedule time (start and end are both
+		// known): channel queue wait, then media occupancy.
+		if start > now {
+			cmd.Trace.AddSpan(trace.LayerSSD, "channel-queue-wait", now, start)
+		}
+		cmd.Trace.AddSpan(trace.LayerSSD, "media "+cmd.Opcode.String(), start, done)
+	}
 
 	key := flightKey{qid: at.qp.ID, cid: cmd.CID}
 	if _, dup := d.inflight[key]; dup {
 		panic(fmt.Sprintf("ssd: duplicate in-flight CID %d on queue %d", cmd.CID, at.qp.ID))
 	}
-	fl := &flight{}
+	fl := &flight{ms: cmd.Trace}
 	if cmd.Opcode == nvme.OpWrite {
 		fl.cleanup = func() { ch.outstandingWrites-- }
 	}
@@ -254,13 +265,16 @@ func (d *Device) service(at *attachment, cmd nvme.Command) {
 			// The command is lost inside the device: no DMA, no completion.
 			// Only a host-side timeout (followed by Abort) recovers.
 			d.stats.InjDropped++
+			cmd.Trace.Mark(trace.LayerSSD, "fault-dropped", done)
 			return
 		case fault.Transient:
 			d.stats.InjTransient++
+			cmd.Trace.Mark(trace.LayerSSD, "fault-transient", done)
 			d.complete(at, cmd, nvme.StatusCmdInterrupted)
 			return
 		case fault.UECC:
 			d.stats.InjUECC++
+			cmd.Trace.Mark(trace.LayerSSD, "fault-uecc", done)
 			if cmd.Opcode == nvme.OpRead {
 				d.complete(at, cmd, nvme.StatusUncorrectable)
 			} else {
@@ -298,6 +312,7 @@ func (d *Device) Abort(qid, cid uint16) bool {
 	if fl.release != nil {
 		fl.release()
 	}
+	fl.ms.Mark(trace.LayerSSD, "aborted", d.eng.Now())
 	d.stats.Aborts++
 	return true
 }

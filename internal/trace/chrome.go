@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Process names one tracer for Chrome export. Each process becomes a
+// Chrome "pid" (Perfetto renders them as separate process tracks), so one
+// file can hold several schemes side by side.
+type Process struct {
+	// Name labels the process track (e.g. "HWDP", "OSDP").
+	Name string
+	// T is the tracer whose misses the track shows; nil tracers export
+	// an empty track.
+	T *Tracer
+}
+
+// WriteChrome writes the given tracers as Chrome trace_event JSON (the
+// JSON-object format with a traceEvents array), loadable in Perfetto or
+// chrome://tracing. Each miss becomes a complete ("X") event on its core's
+// thread, with one nested complete event per span; kills appear as
+// instant ("i") events. Timestamps are virtual time converted to
+// microseconds (the format's unit) with fixed six-decimal formatting, so
+// the output is byte-deterministic for a deterministic simulation.
+func WriteChrome(w io.Writer, procs ...Process) error {
+	bw := &errWriter{w: w}
+	bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`)
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.WriteString(",\n")
+		} else {
+			bw.WriteString("\n")
+			first = false
+		}
+		bw.WriteString(s)
+	}
+	for pid, p := range procs {
+		emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+			pid, quote(p.Name)))
+		if p.T == nil {
+			continue
+		}
+		cores := map[int]bool{}
+		for _, m := range p.T.misses {
+			if !cores[m.Core] {
+				cores[m.Core] = true
+				emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"core %d"}}`,
+					pid, m.Core, m.Core))
+			}
+			emit(fmt.Sprintf(`{"name":%s,"cat":"miss","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{"id":%d,"va":"%#x","cause":%s,"killed":%t}}`,
+				quote("miss "+m.Cause.String()), pid, m.Core,
+				usec(int64(m.Start)), usec(int64(m.End-m.Start)), m.ID, m.VA, quote(m.Cause.String()), m.Killed))
+			for _, s := range m.Spans {
+				emit(fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{"id":%d}}`,
+					quote(s.Name), quote(s.Layer.String()), pid, m.Core,
+					usec(int64(s.Start)), usec(int64(s.End-s.Start)), m.ID))
+			}
+		}
+		for _, pm := range p.T.postmortems {
+			tid := 0
+			if pm.Victim != nil {
+				tid = pm.Victim.Core
+			}
+			emit(fmt.Sprintf(`{"name":%s,"cat":"kill","ph":"i","s":"g","pid":%d,"tid":%d,"ts":%s}`,
+				quote(pm.Reason), pid, tid, usec(int64(pm.At))))
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.err
+}
+
+// usec formats picoseconds as microseconds with fixed six decimals
+// (sub-picosecond exact: 1 ps = 0.000001 µs).
+func usec(ps int64) string {
+	sign := ""
+	if ps < 0 {
+		sign = "-"
+		ps = -ps
+	}
+	return fmt.Sprintf("%s%d.%06d", sign, ps/1e6, ps%1e6)
+}
+
+// quote JSON-escapes a string.
+func quote(s string) string { return strconv.Quote(s) }
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) WriteString(s string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+}
