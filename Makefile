@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench docs-check fmt check
+.PHONY: all build test race bench bench-short bench-go docs-check fmt check
 
 all: build test
 
@@ -16,7 +16,17 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the fixed-seed benchmark suite and writes BENCH_hwdp.json
+# (ns/op, allocs/op, sim-events/sec, plus the pinned pre-optimization
+# baseline). bench-short is the CI smoke variant. bench-go runs the raw
+# go-test benchmarks once each as a compile-and-smoke check.
 bench:
+	$(GO) run ./cmd/hwdpbench -bench
+
+bench-short:
+	$(GO) run ./cmd/hwdpbench -bench -quick
+
+bench-go:
 	$(GO) test -short -bench=. -benchtime=1x ./...
 
 fmt:

@@ -190,3 +190,28 @@ func BenchmarkAblationDeviceSweep(b *testing.B) {
 		b.ReportMetric(100*r.Rows[2].Reduction, "pmm-fault-reduction%")
 	}
 }
+
+// TestBenchmarkedFiguresAreSane asserts the correctness of what the figure
+// benchmarks above report: the static Fig. 2 table renders every era, and a
+// quick Fig. 3 run yields a positive measured fault latency with a hardware
+// overhead fraction strictly inside (0, 1) — the quantities the benchmarks
+// publish as metrics.
+func TestBenchmarkedFiguresAreSane(t *testing.T) {
+	f2 := figures.Fig2()
+	if len(f2.Rows) == 0 || f2.String() == "" {
+		t.Fatal("Fig2 produced no rows")
+	}
+	r, err := figures.Fig3(figures.Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Measured <= 0 {
+		t.Fatalf("Fig3 measured fault latency %v, want > 0", r.Measured)
+	}
+	if r.OverheadFrac <= 0 || r.OverheadFrac >= 1 {
+		t.Fatalf("Fig3 overhead fraction %v, want in (0, 1)", r.OverheadFrac)
+	}
+	if rep := area.SMUReport(22); rep.Total <= 0 {
+		t.Fatalf("area model reports %v mm2, want > 0", rep.Total)
+	}
+}

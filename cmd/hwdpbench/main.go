@@ -10,6 +10,9 @@
 //	hwdpbench -threads 1,4      # restrict Fig. 13's thread sweep
 //	hwdpbench -breakdown        # per-layer miss-latency attribution, all schemes
 //	hwdpbench -trace out.json   # Chrome trace of the same sweep (Perfetto)
+//	hwdpbench -bench            # fixed-seed benchmark suite -> BENCH_hwdp.json
+//	hwdpbench -bench -quick     # short variant (CI smoke)
+//	hwdpbench -bench-out f.json # report path (default BENCH_hwdp.json)
 package main
 
 import (
@@ -35,6 +38,8 @@ func main() {
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts for -fig 13")
 	breakdown := flag.Bool("breakdown", false, "run a traced FIO sweep over all three schemes and print per-layer latency attribution")
 	tracePath := flag.String("trace", "", "write the traced sweep as Chrome trace_event JSON to this file")
+	bench := flag.Bool("bench", false, "run the fixed-seed benchmark suite and write a JSON report")
+	benchOut := flag.String("bench-out", "BENCH_hwdp.json", "benchmark report path for -bench")
 	flag.Parse()
 
 	p := figures.Default()
@@ -111,6 +116,10 @@ func main() {
 
 	if *breakdown || *tracePath != "" {
 		traceSweep(*quick, *breakdown, *tracePath)
+		ran = true
+	}
+	if *bench {
+		runBench(*quick, *benchOut)
 		ran = true
 	}
 

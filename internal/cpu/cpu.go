@@ -258,7 +258,7 @@ func (c *CPU) userChunk(t *HWThread, remaining uint64, done func()) {
 	t.UserInstr += chunk
 	t.UserTime += dur
 	t.warmth = 1 - (1-w)*expNeg(float64(chunk)/p.RecoverInstr)
-	c.eng.After(dur, func() {
+	c.eng.Post(dur, func() {
 		if remaining > chunk {
 			c.userChunk(t, remaining-chunk, done)
 			return
@@ -284,7 +284,7 @@ func (c *CPU) KernelExec(t *HWThread, dur sim.Time, done func()) {
 	t.KernelTime += dur
 	t.warmth *= expNeg(float64(instr) / p.PolluteInstr)
 	t.state = RunningKernel
-	c.eng.After(dur, func() {
+	c.eng.Post(dur, func() {
 		t.state = Idle
 		done()
 	})
@@ -299,7 +299,7 @@ func (c *CPU) Stall(t *HWThread, dur sim.Time, done func()) {
 	}
 	t.StallTime += dur
 	t.state = Stalled
-	c.eng.After(dur, func() {
+	c.eng.Post(dur, func() {
 		t.state = Idle
 		done()
 	})

@@ -363,13 +363,13 @@ func (k *Kernel) Start() {
 			k.refillSMU(s)
 		}
 		if !k.cfg.DisableKpoold {
-			k.eng.After(k.cfg.KpooldPeriod, k.kpooldTick)
+			k.eng.Post(k.cfg.KpooldPeriod, k.kpooldTick)
 		}
 	}
 	if (k.cfg.Scheme == HWDP || k.cfg.Scheme == SWDP) && !k.cfg.DisableKpted {
-		k.eng.After(k.cfg.KptedPeriod, k.kptedTick)
+		k.eng.Post(k.cfg.KptedPeriod, k.kptedTick)
 	}
-	k.eng.After(k.cfg.KswapdPeriod, k.kswapdTick)
+	k.eng.Post(k.cfg.KswapdPeriod, k.kswapdTick)
 }
 
 // NewProcess creates a process with an empty address space.
@@ -405,7 +405,7 @@ func (p *Process) findVMA(va pagetable.VAddr) *VMA {
 // is serviced at the next instruction boundary of the critical section).
 func (k *Kernel) kexec(hw *cpu.HWThread, d sim.Time, fn func()) {
 	if hw.State() != cpu.Idle {
-		k.eng.After(sim.Nano(150), func() { k.kexec(hw, d, fn) })
+		k.eng.Post(sim.Nano(150), func() { k.kexec(hw, d, fn) })
 		return
 	}
 	k.cpu.KernelExec(hw, d, fn)
@@ -519,7 +519,7 @@ func (k *Kernel) submitIORetry(st *storage, hw *cpu.HWThread, op nvme.Opcode, lb
 			attempt++
 			now := k.eng.Now()
 			ms.AddSpan(trace.LayerKernel, "block-retry-backoff", now, now+delay)
-			k.eng.After(delay, try)
+			k.eng.Post(delay, try)
 		})
 	}
 	try()

@@ -67,7 +67,7 @@ func (k *Kernel) allocFrame(hw *cpu.HWThread, done func(mem.FrameID)) {
 			// Still nothing (all pages referenced or under writeback):
 			// retry shortly; forward progress comes from writeback
 			// completions.
-			k.eng.After(50*sim.Microsecond, func() { k.allocFrame(hw, done) })
+			k.eng.Post(50*sim.Microsecond, func() { k.allocFrame(hw, done) })
 		})
 	})
 }

@@ -24,7 +24,7 @@ func (k *Kernel) kptedTick() {
 	k.stats.KptedPTEsSeen += visited
 	cost := k.cfg.Costs.KptedPerPTE*sim.Time(visited) +
 		k.cfg.Costs.KptedPerSync*sim.Time(matched)
-	finish := func() { k.eng.After(k.cfg.KptedPeriod, k.kptedTick) }
+	finish := func() { k.eng.Post(k.cfg.KptedPeriod, k.kptedTick) }
 	if cost > 0 {
 		k.kexec(k.kptedHW, cost, finish)
 	} else {
@@ -41,7 +41,7 @@ func (k *Kernel) kpooldTick() {
 		total += k.refillSMU(s)
 	}
 	k.stats.KpooldFrames += uint64(total)
-	finish := func() { k.eng.After(k.cfg.KpooldPeriod, k.kpooldTick) }
+	finish := func() { k.eng.Post(k.cfg.KpooldPeriod, k.kpooldTick) }
 	if total > 0 {
 		k.kexec(k.kpooldHW, k.cfg.Costs.KpooldPerPage*sim.Time(total), finish)
 	} else {
@@ -53,7 +53,7 @@ func (k *Kernel) kpooldTick() {
 // the watermarks by evicting cold pages from the clock LRU.
 func (k *Kernel) kswapdTick() {
 	free, low, high := k.freeLevel()
-	reschedule := func() { k.eng.After(k.cfg.KswapdPeriod, k.kswapdTick) }
+	reschedule := func() { k.eng.Post(k.cfg.KswapdPeriod, k.kswapdTick) }
 	if free >= low || k.reclaiming {
 		reschedule()
 		return

@@ -20,3 +20,21 @@ func BenchmarkRecordValidate(b *testing.B) {
 		}
 	}
 }
+
+// TestRecordEncodeValidateRoundTrip asserts the correctness of the pair the
+// benchmarks above measure: a record encoded for key k validates under k
+// and fails under any other key.
+func TestRecordEncodeValidateRoundTrip(t *testing.T) {
+	buf := make([]byte, RecordSize)
+	encodeRecord(buf, 42, 7)
+	v, err := validateRecord(buf, 42)
+	if err != nil {
+		t.Fatalf("validate(42) failed: %v", err)
+	}
+	if v != 7 {
+		t.Fatalf("version = %d, want 7", v)
+	}
+	if _, err := validateRecord(buf, 43); err == nil {
+		t.Fatal("record for key 42 validated under key 43")
+	}
+}

@@ -21,3 +21,23 @@ func BenchmarkHistogramPercentile(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestHistogramPercentileOrdering asserts the correctness of the pair the
+// benchmarks above measure: recorded samples come back with monotonically
+// nondecreasing percentiles that bracket the data range.
+func TestHistogramPercentileOrdering(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i)
+	}
+	p50, p99 := h.Percentile(50), h.Percentile(99)
+	if p50 > p99 {
+		t.Fatalf("p50 %d > p99 %d", p50, p99)
+	}
+	if p50 < 400 || p50 > 600 {
+		t.Fatalf("p50 = %d for uniform 1..1000, want ~500", p50)
+	}
+	if p99 < 900 {
+		t.Fatalf("p99 = %d for uniform 1..1000, want >=900", p99)
+	}
+}

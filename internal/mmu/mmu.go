@@ -93,7 +93,7 @@ type Result struct {
 type MMU struct {
 	eng  *sim.Engine
 	tlb  *TLB
-	smus map[uint8]*smu.SMU
+	smus [8]*smu.SMU // indexed by socket ID (3-bit SID field of the PTE)
 
 	// WalkLatency is charged on every TLB miss (the hardware walker's
 	// memory accesses; calibrated to the paper's Fig. 3 walk share).
@@ -123,7 +123,6 @@ func New(eng *sim.Engine) *MMU {
 	return &MMU{
 		eng:         eng,
 		tlb:         NewTLB(256, 6),
-		smus:        make(map[uint8]*smu.SMU),
 		WalkLatency: sim.Nano(30),
 		DispatchHW:  true,
 	}
@@ -137,7 +136,10 @@ func (m *MMU) Stats() Stats { return m.stats }
 
 // AttachSMU registers the SMU serving a socket ID.
 func (m *MMU) AttachSMU(s *smu.SMU) {
-	if _, dup := m.smus[s.SID]; dup {
+	if int(s.SID) >= len(m.smus) {
+		panic(fmt.Sprintf("mmu: socket ID %d out of range", s.SID))
+	}
+	if m.smus[s.SID] != nil {
 		panic(fmt.Sprintf("mmu: SMU for socket %d attached twice", s.SID))
 	}
 	m.smus[s.SID] = s
@@ -170,7 +172,7 @@ func (m *MMU) Access(as *AddressSpace, va pagetable.VAddr, write bool, ctx any, 
 	}
 	m.stats.Walks++
 	t0 := m.eng.Now()
-	m.eng.After(m.WalkLatency, func() { m.walk(ctx, as, va, write, done, false, t0, nil) })
+	m.eng.Post(m.WalkLatency, func() { m.walk(ctx, as, va, write, done, false, t0, nil) })
 }
 
 // walk resolves one page-table walk. t0 is when the TLB missed (the walk
@@ -212,8 +214,8 @@ func (m *MMU) walk(ctx any, as *AddressSpace, va pagetable.VAddr, write bool, do
 		// Both checks in one walk step: present clear, LBA set → request
 		// the SMU identified by the socket ID; the pipeline stalls.
 		blk := e.Block()
-		s, okSMU := m.smus[blk.SID]
-		if !okSMU {
+		s := m.smus[blk.SID]
+		if s == nil {
 			panic(fmt.Sprintf("mmu: PTE names socket %d with no SMU", blk.SID))
 		}
 		m.stats.HWMisses++

@@ -2,6 +2,76 @@ package nvme
 
 import "testing"
 
+// namedStatuses is the full status vocabulary with its expected mapping:
+// display name, retry disposition, and success classification. Single
+// source of truth for the exhaustive tables below — adding a status
+// constant without extending this table fails TestStatusTableExhaustive.
+var namedStatuses = []struct {
+	status    uint16
+	name      string
+	retryable bool
+	ok        bool
+}{
+	{StatusSuccess, "success", false, true},
+	{StatusInternalErr, "internal-error", false, false},
+	{StatusInvalidNS, "invalid-namespace", false, false},
+	{StatusCmdInterrupted, "command-interrupted", true, false},
+	{StatusLBARange, "lba-out-of-range", false, false},
+	{StatusWriteFault, "write-fault", false, false},
+	{StatusUncorrectable, "unrecovered-read", false, false},
+	{StatusHostTimeout, "host-timeout", true, false},
+}
+
+// TestStatusTableExhaustive sweeps the whole 16-bit status space: every
+// code outside the named table must render as unknown(...) and must not be
+// retryable; every named code must map exactly per the table. This is the
+// status -> error mapping contract the SMU retry policy and the OS block
+// layer both build on.
+func TestStatusTableExhaustive(t *testing.T) {
+	named := make(map[uint16]int, len(namedStatuses))
+	for i, c := range namedStatuses {
+		named[c.status] = i
+	}
+	for s := 0; s <= 0xFFFF; s++ {
+		st := uint16(s)
+		i, isNamed := named[st]
+		if !isNamed {
+			if got := StatusString(st); len(got) < 8 || got[:8] != "unknown(" {
+				t.Fatalf("StatusString(%#x) = %q, want unknown(...)", st, got)
+			}
+			if StatusRetryable(st) {
+				t.Fatalf("unknown status %#x reported retryable", st)
+			}
+			continue
+		}
+		c := namedStatuses[i]
+		if got := StatusString(st); got != c.name {
+			t.Errorf("StatusString(%#x) = %q, want %q", st, got, c.name)
+		}
+		if got := StatusRetryable(st); got != c.retryable {
+			t.Errorf("StatusRetryable(%#x) = %v, want %v", st, got, c.retryable)
+		}
+		if got := (Completion{Status: st}).OK(); got != c.ok {
+			t.Errorf("Completion{%#x}.OK() = %v, want %v", st, got, c.ok)
+		}
+		if c.retryable && c.ok {
+			t.Errorf("status %#x is both retryable and OK — nonsensical mapping", st)
+		}
+	}
+}
+
+// TestStatusNamesDistinct guards against two codes silently sharing a
+// display name (log analysis keys on the rendered string).
+func TestStatusNamesDistinct(t *testing.T) {
+	seen := make(map[string]uint16)
+	for _, c := range namedStatuses {
+		if prev, dup := seen[c.name]; dup {
+			t.Fatalf("statuses %#x and %#x both render as %q", prev, c.status, c.name)
+		}
+		seen[c.name] = c.status
+	}
+}
+
 func TestStatusString(t *testing.T) {
 	cases := []struct {
 		status uint16

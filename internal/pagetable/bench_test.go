@@ -50,3 +50,26 @@ func BenchmarkEntryEncodeDecode(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestWalkSeesEnsuredEntries asserts the correctness of the operations the
+// benchmarks above measure: entries installed through Ensure/Set are found
+// by Walk with their payload intact.
+func TestWalkSeesEnsuredEntries(t *testing.T) {
+	tbl := New()
+	tbl.Set(VAddr(5)<<12, MakePresent(99, Prot{Write: true}, true))
+	_, _, pte, ok := tbl.Walk(VAddr(5) << 12)
+	if !ok {
+		t.Fatal("walk missed an installed entry")
+	}
+	if e := pte.Get(); e.PFN() != 99 || !e.Prot().Write {
+		t.Fatalf("walked entry %#x, want pfn 99 writable", uint64(e))
+	}
+	// A neighboring, never-set slot shares the PTE page but must read as
+	// an empty (not-present, OS-handled) entry.
+	if _, _, pte6, ok := tbl.Walk(VAddr(6) << 12); ok && pte6.Get().State() != StateNotPresentOS {
+		t.Fatalf("unset slot reads %v, want empty", pte6.Get().State())
+	}
+	if _, _, _, ok := tbl.Walk(VAddr(1) << 30); ok {
+		t.Fatal("walk fabricated tables for an untouched region")
+	}
+}

@@ -1,0 +1,134 @@
+package pagetable
+
+import (
+	"testing"
+
+	"hwdp/internal/mem"
+)
+
+// Fuzz round-trips for the 64-bit entry encoding. The PTE layout packs
+// three coexisting formats (present/PFN, LBA-augmented block address,
+// OS swap payload) plus protection bits into one word; these fuzzers prove
+// decode(encode(x)) == x for every reachable input and that the Table I
+// state classification is consistent with the constructor used. `go test`
+// runs the seeded corpus; `go test -fuzz FuzzX ./internal/pagetable` explores
+// further.
+
+// protFrom builds a Prot from raw fuzz bytes.
+func protFrom(bits uint8, pkey uint8) Prot {
+	return Prot{
+		Write:   bits&1 != 0,
+		User:    bits&2 != 0,
+		NoExec:  bits&4 != 0,
+		ProtKey: pkey & 0xF,
+	}
+}
+
+func FuzzEntryLBARoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint64(0), uint8(0), uint8(0))
+	f.Add(uint8(7), uint8(7), MaxLBA, uint8(7), uint8(15))
+	f.Add(uint8(3), uint8(5), uint64(123456789), uint8(5), uint8(9))
+	f.Fuzz(func(t *testing.T, sid, dev uint8, lba uint64, protBits, pkey uint8) {
+		b := BlockAddr{SID: sid & 7, DeviceID: dev & 7, LBA: lba & MaxLBA}
+		p := protFrom(protBits, pkey)
+		e := MakeLBA(b, p)
+		if got := e.Block(); got != b {
+			t.Fatalf("Block() = %v, want %v (entry %#x)", got, b, uint64(e))
+		}
+		if got := e.Prot(); got != p {
+			t.Fatalf("Prot() = %+v, want %+v", got, p)
+		}
+		if e.State() != StateNotPresentLBA {
+			t.Fatalf("state = %v, want not-present/lba", e.State())
+		}
+		if e.Present() {
+			t.Fatal("LBA entry must not be present")
+		}
+	})
+}
+
+func FuzzEntryPresentRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint8(0), uint8(0), false)
+	f.Add(uint64(1)<<40-1, uint8(7), uint8(15), true)
+	f.Add(uint64(0xABCDE), uint8(2), uint8(3), false)
+	f.Fuzz(func(t *testing.T, pfn uint64, protBits, pkey uint8, synced bool) {
+		pfn &= (1 << 40) - 1 // pfnBits
+		p := protFrom(protBits, pkey)
+		e := MakePresent(mem.FrameID(pfn), p, synced)
+		if got := e.PFN(); got != mem.FrameID(pfn) {
+			t.Fatalf("PFN() = %d, want %d (entry %#x)", got, pfn, uint64(e))
+		}
+		if got := e.Prot(); got != p {
+			t.Fatalf("Prot() = %+v, want %+v", got, p)
+		}
+		if !e.Present() {
+			t.Fatal("present entry must be present")
+		}
+		want := StateResident
+		if !synced {
+			want = StateResidentUnsynced
+		}
+		if e.State() != want {
+			t.Fatalf("state = %v, want %v (synced=%v)", e.State(), want, synced)
+		}
+		// Syncing (kpted clearing the LBA bit) must not disturb the payload.
+		s := e.ClearFlags(FlagLBA)
+		if s.PFN() != mem.FrameID(pfn) || s.Prot() != p || s.State() != StateResident {
+			t.Fatalf("ClearFlags(FlagLBA) corrupted entry: %#x -> %#x", uint64(e), uint64(s))
+		}
+	})
+}
+
+func FuzzEntrySwapRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint8(0), uint8(0))
+	f.Add(uint64(1)<<40-1, uint8(7), uint8(15))
+	f.Add(uint64(424242), uint8(1), uint8(7))
+	f.Fuzz(func(t *testing.T, payload uint64, protBits, pkey uint8) {
+		payload &= (1 << 40) - 1
+		p := protFrom(protBits, pkey)
+		e := MakeSwap(payload, p)
+		if got := e.SwapPayload(); got != payload {
+			t.Fatalf("SwapPayload() = %d, want %d", got, payload)
+		}
+		if got := e.Prot(); got != p {
+			t.Fatalf("Prot() = %+v, want %+v", got, p)
+		}
+		if e.State() != StateNotPresentOS {
+			t.Fatalf("state = %v, want not-present/os", e.State())
+		}
+	})
+}
+
+// FuzzEntryStateTotal checks that State() is total and consistent with the
+// two defining bits for arbitrary 64-bit words, not just constructor output.
+func FuzzEntryStateTotal(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(^uint64(0))
+	f.Add(uint64(FlagPresent))
+	f.Add(uint64(FlagLBA))
+	f.Fuzz(func(t *testing.T, raw uint64) {
+		e := Entry(raw)
+		st := e.State()
+		switch {
+		case !e.Present() && !e.LBABit():
+			if st != StateNotPresentOS {
+				t.Fatalf("state = %v", st)
+			}
+		case !e.Present():
+			if st != StateNotPresentLBA {
+				t.Fatalf("state = %v", st)
+			}
+		case e.LBABit():
+			if st != StateResidentUnsynced {
+				t.Fatalf("state = %v", st)
+			}
+		default:
+			if st != StateResident {
+				t.Fatalf("state = %v", st)
+			}
+		}
+		if st.String() == "unknown" {
+			t.Fatalf("state %d has no name", int(st))
+		}
+	})
+}

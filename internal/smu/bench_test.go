@@ -56,3 +56,49 @@ func BenchmarkFreeQueuePop(b *testing.B) {
 		}
 	}
 }
+
+// TestBenchmarkMissShapeCompletes asserts the correctness of the loop
+// BenchmarkHandleMiss measures: each miss completes with ResultOK and
+// installs a resident-unsynced PTE naming an accepted frame.
+func TestBenchmarkMissShapeCompletes(t *testing.T) {
+	eng := sim.NewEngine()
+	prof := ssd.ZSSD
+	prof.JitterFrac = 0
+	dev := ssd.New(eng, prof, sim.NewRand(1), nil)
+	dev.AddNamespace(nvme.Namespace{ID: 1, Blocks: 1 << 30})
+	s := New(eng, 0, 1<<16)
+	qp := nvme.NewQueuePair(1, 2*PMSHREntries)
+	s.AttachDevice(0, dev, qp, 1)
+	recs := make([]FrameRecord, 0, 64)
+	for i := 0; i < 64; i++ {
+		recs = append(recs, RecordFor(mem.FrameID(i)))
+	}
+	s.Refill(recs)
+	tbl := pagetable.New()
+	for i := 0; i < 16; i++ {
+		va := pagetable.VAddr(uint64(i)) << 12
+		pud, pmd, pte := tbl.Ensure(va)
+		blk := pagetable.BlockAddr{LBA: uint64(i)}
+		pte.Set(pagetable.MakeLBA(blk, pagetable.Prot{}))
+		done := false
+		var got pagetable.Entry
+		s.HandleMiss(Request{PUD: pud, PMD: pmd, PTE: pte, Block: blk},
+			func(r Result, e pagetable.Entry) {
+				if r != ResultOK {
+					t.Fatalf("miss %d: result %v", i, r)
+				}
+				done, got = true, e
+			})
+		for !done && eng.Step() {
+		}
+		if !done {
+			t.Fatalf("miss %d never completed", i)
+		}
+		if got.State() != pagetable.StateResidentUnsynced {
+			t.Fatalf("miss %d installed state %v", i, got.State())
+		}
+	}
+	if s.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after drain", s.Outstanding())
+	}
+}

@@ -27,7 +27,11 @@ type FreeQueue struct {
 	tail  int // producer index (hardware register)
 	depth int
 
-	buf     []FrameRecord // prefetch buffer inside the SMU
+	// Prefetch buffer inside the SMU: a head-indexed deque over a slice
+	// whose backing array is reused (compacted rather than re-sliced), so
+	// steady-state prefetch/pop traffic allocates nothing.
+	buf     []FrameRecord
+	bufHead int
 	bufCap  int
 	pops    uint64
 	refills uint64
@@ -51,7 +55,7 @@ func (q *FreeQueue) Depth() int { return q.depth - 1 }
 func (q *FreeQueue) Len() int { return (q.tail - q.head + q.depth) % q.depth }
 
 // Buffered returns the number of records in the prefetch buffer.
-func (q *FreeQueue) Buffered() int { return len(q.buf) }
+func (q *FreeQueue) Buffered() int { return len(q.buf) - q.bufHead }
 
 // Space returns how many records the producer can still push.
 func (q *FreeQueue) Space() int { return q.Depth() - q.Len() }
@@ -79,6 +83,12 @@ func (q *FreeQueue) Push(recs []FrameRecord) int {
 // during device I/O time); the model invokes it at miss-handling
 // completion and at refill.
 func (q *FreeQueue) Prefetch() {
+	if q.bufHead > 0 {
+		// Compact consumed slots so append reuses the backing array.
+		n := copy(q.buf, q.buf[q.bufHead:])
+		q.buf = q.buf[:n]
+		q.bufHead = 0
+	}
 	for len(q.buf) < q.bufCap && q.head != q.tail {
 		q.buf = append(q.buf, q.ring[q.head])
 		q.head = (q.head + 1) % q.depth
@@ -90,9 +100,13 @@ func (q *FreeQueue) Prefetch() {
 // both the buffer and the ring are empty — the case where the SMU fails
 // the miss back to the OS.
 func (q *FreeQueue) Pop() (rec FrameRecord, fromBuffer, ok bool) {
-	if len(q.buf) > 0 {
-		rec = q.buf[0]
-		q.buf = q.buf[1:]
+	if q.bufHead < len(q.buf) {
+		rec = q.buf[q.bufHead]
+		q.bufHead++
+		if q.bufHead == len(q.buf) {
+			q.buf = q.buf[:0]
+			q.bufHead = 0
+		}
 		q.pops++
 		return rec, true, true
 	}

@@ -6,6 +6,11 @@
 // block, updates the page-table entries in hardware, and broadcasts
 // completion so stalled page-table walks resume — all without raising an
 // exception.
+//
+// The PMSHR is modeled the way the hardware builds it: a fixed array of
+// slots searched associatively (a CAM scan) rather than a hash map, and
+// slot state is pooled and recycled, so steady-state miss handling
+// performs no heap allocations (pinned by TestMissPathAllocationBudget).
 package smu
 
 import (
@@ -132,12 +137,20 @@ type pmshrEntry struct {
 	cid      uint16 // current command ID; 0 = no command in flight
 	attempts int    // submissions so far, including the first
 	timeout  *sim.Event
+	newPTE   pagetable.Entry // installed PTE, staged between PT update and notify
 }
 
 type devSlot struct {
 	qp   *nvme.QueuePair
 	dev  *ssd.Device
 	nsid uint32
+}
+
+// pendingReq carries a request across the admission latency without
+// building a per-miss closure; carriers are pooled.
+type pendingReq struct {
+	req  Request
+	done DoneFunc
 }
 
 type backlogItem struct {
@@ -158,16 +171,32 @@ type SMU struct {
 	timing  Timing
 	entries int
 
-	pmshr    map[pagetable.EntryAddr]*pmshrEntry
-	byCID    map[uint16]*pmshrEntry
-	nextCID  uint16
-	policy   RetryPolicy
-	freeIdx  []int
-	backlog  []backlogItem
-	freeqs   []*FreeQueue // one, or one per logical core
-	devs     [8]*devSlot
-	stats    Stats
-	barriers []*barrier
+	slots       []*pmshrEntry // the PMSHR proper: nil = free slot
+	freeIdx     []int
+	nextCID     uint16
+	policy      RetryPolicy
+	backlog     []backlogItem
+	backlogHead int
+	freeqs      []*FreeQueue // one, or one per logical core
+	devs        [8]*devSlot
+	stats       Stats
+	barriers    []*barrier
+
+	// Pools: PMSHR entry state and admission carriers are recycled so the
+	// steady-state miss path allocates nothing.
+	entryPool []*pmshrEntry
+	reqPool   []*pendingReq
+
+	// Pre-bound event callbacks (built once in NewPerCore) so scheduling a
+	// pipeline stage costs no closure allocation.
+	admitFn    func(any)
+	issueFn    func(any)
+	doorbellFn func(any)
+	timeoutFn  func(any)
+	cqHandleFn func(any)
+	ptUpdateFn func(any)
+	notifyFn   func(any)
+	anonFillFn func(any)
 
 	// Tracer, when set, observes each handling phase (single-miss
 	// experiments).
@@ -204,8 +233,7 @@ func NewPerCore(eng *sim.Engine, sid uint8, freeQueueDepth, entries, cores int) 
 		eng:     eng,
 		timing:  DefaultTiming(),
 		entries: entries,
-		pmshr:   make(map[pagetable.EntryAddr]*pmshrEntry),
-		byCID:   make(map[uint16]*pmshrEntry),
+		slots:   make([]*pmshrEntry, entries),
 		nextCID: 1,
 		policy:  DefaultRetryPolicy(),
 	}
@@ -219,6 +247,31 @@ func NewPerCore(eng *sim.Engine, sid uint8, freeQueueDepth, entries, cores int) 
 	for i := entries - 1; i >= 0; i-- {
 		s.freeIdx = append(s.freeIdx, i)
 	}
+	s.admitFn = func(a any) {
+		c := a.(*pendingReq)
+		req, done := c.req, c.done
+		c.req, c.done = Request{}, nil
+		s.reqPool = append(s.reqPool, c)
+		s.admit(req, done)
+	}
+	s.issueFn = func(a any) { s.issue(a.(*pmshrEntry)) }
+	s.doorbellFn = func(a any) {
+		e := a.(*pmshrEntry)
+		e.dev.dev.RingSQDoorbell(e.dev.qp.ID)
+		// Opportunistically refill the prefetch buffer during the device
+		// I/O time — this is what hides the memory latency of free-page
+		// fetches.
+		s.queueFor(e.req.Core).Prefetch()
+	}
+	s.timeoutFn = func(a any) { s.onTimeout(a.(*pmshrEntry)) }
+	s.cqHandleFn = func(a any) { s.cqHandle(a.(*devSlot)) }
+	s.ptUpdateFn = func(a any) { s.ptUpdate(a.(*pmshrEntry)) }
+	s.notifyFn = func(a any) {
+		e := a.(*pmshrEntry)
+		s.stats.Handled++
+		s.finish(e, ResultOK, e.newPTE)
+	}
+	s.anonFillFn = func(a any) { s.anonFill(a.(*pmshrEntry)) }
 	return s
 }
 
@@ -255,7 +308,7 @@ func (s *SMU) Policy() RetryPolicy { return s.policy }
 // with the stats it states the conservation invariant
 // FramesAccepted == FramesInstalled + FramesHeld.
 func (s *SMU) FramesHeld() int {
-	held := len(s.pmshr)
+	held := s.Outstanding()
 	for _, q := range s.freeqs {
 		held += q.Len() + q.Buffered()
 	}
@@ -281,7 +334,62 @@ func (s *SMU) RefillCore(core int, recs []FrameRecord) int {
 }
 
 // Outstanding returns the number of in-flight hardware-handled misses.
-func (s *SMU) Outstanding() int { return len(s.pmshr) }
+func (s *SMU) Outstanding() int { return s.entries - len(s.freeIdx) }
+
+// lookup scans the PMSHR slots for an outstanding miss on a PTE — the CAM
+// lookup the hardware performs on every request.
+func (s *SMU) lookup(addr pagetable.EntryAddr) *pmshrEntry {
+	for _, e := range s.slots {
+		if e != nil && e.pteAddr == addr {
+			return e
+		}
+	}
+	return nil
+}
+
+// lookupCID scans the slots for the entry owning an in-flight command ID.
+func (s *SMU) lookupCID(cid uint16) *pmshrEntry {
+	for _, e := range s.slots {
+		if e != nil && e.cid == cid {
+			return e
+		}
+	}
+	return nil
+}
+
+// getEntry takes a pooled PMSHR entry record (or allocates the pool's
+// first few).
+func (s *SMU) getEntry() *pmshrEntry {
+	if n := len(s.entryPool); n > 0 {
+		e := s.entryPool[n-1]
+		s.entryPool[n-1] = nil
+		s.entryPool = s.entryPool[:n-1]
+		return e
+	}
+	return &pmshrEntry{}
+}
+
+// putEntry clears an entry and returns it to the pool.
+func (s *SMU) putEntry(e *pmshrEntry) {
+	w := e.waiters
+	for i := range w {
+		w[i] = nil
+	}
+	*e = pmshrEntry{}
+	e.waiters = w[:0]
+	s.entryPool = append(s.entryPool, e)
+}
+
+// getReq takes a pooled admission carrier.
+func (s *SMU) getReq() *pendingReq {
+	if n := len(s.reqPool); n > 0 {
+		c := s.reqPool[n-1]
+		s.reqPool[n-1] = nil
+		s.reqPool = s.reqPool[:n-1]
+		return c
+	}
+	return &pendingReq{}
+}
 
 // AttachDevice initializes one set of NVMe queue descriptor registers for a
 // block device: the isolated queue pair the OS allocated, the device it
@@ -315,12 +423,14 @@ func (s *SMU) HandleMiss(req Request, done DoneFunc) {
 	s.trace("request regs + CAM lookup", lookupCost)
 	now := s.eng.Now()
 	req.Trace.AddSpan(trace.LayerSMU, "req-regs+cam", now, now+lookupCost)
-	s.eng.After(lookupCost, func() { s.admit(req, done) })
+	c := s.getReq()
+	c.req, c.done = req, done
+	s.eng.PostArg(lookupCost, s.admitFn, c)
 }
 
 func (s *SMU) admit(req Request, done DoneFunc) {
 	addr := req.PTE.Addr()
-	if e, dup := s.pmshr[addr]; dup {
+	if e := s.lookup(addr); e != nil {
 		// Outstanding miss to the same page: coalesce; the pending walk
 		// resumes on the broadcast.
 		if req.Trace != nil {
@@ -343,7 +453,7 @@ func (s *SMU) admit(req Request, done DoneFunc) {
 		s.stats.LateHits++
 		now := s.eng.Now()
 		req.Trace.AddSpan(trace.LayerSMU, "late-hit-notify", now, now+s.timing.Notify)
-		s.eng.After(s.timing.Notify, func() { done(ResultOK, cur) })
+		s.eng.Post(s.timing.Notify, func() { done(ResultOK, cur) })
 		return
 	}
 
@@ -362,7 +472,7 @@ func (s *SMU) admit(req Request, done DoneFunc) {
 	dev := s.devs[req.Block.DeviceID]
 	if dev == nil {
 		s.stats.IOErrors++
-		s.eng.After(s.timing.Notify, func() { done(ResultIOError, 0) })
+		s.eng.Post(s.timing.Notify, func() { done(ResultIOError, 0) })
 		return
 	}
 
@@ -372,7 +482,7 @@ func (s *SMU) admit(req Request, done DoneFunc) {
 		// Free page queue empty: invalidate and fail to the OS, which
 		// handles the fault and refills the queue.
 		s.stats.NoFreePage++
-		s.eng.After(s.timing.Notify, func() { done(ResultNoFreePage, 0) })
+		s.eng.Post(s.timing.Notify, func() { done(ResultNoFreePage, 0) })
 		return
 	}
 	fetchCost := s.timing.FreePageHit
@@ -384,8 +494,10 @@ func (s *SMU) admit(req Request, done DoneFunc) {
 
 	idx := s.freeIdx[len(s.freeIdx)-1]
 	s.freeIdx = s.freeIdx[:len(s.freeIdx)-1]
-	e := &pmshrEntry{idx: idx, pteAddr: addr, req: req, frame: rec, waiters: []DoneFunc{done}, dev: dev}
-	s.pmshr[addr] = e
+	e := s.getEntry()
+	e.idx, e.pteAddr, e.req, e.frame, e.dev = idx, addr, req, rec, dev
+	e.waiters = append(e.waiters, done)
+	s.slots[idx] = e
 
 	t := s.timing
 	s.trace("PMSHR write", t.PMSHRWrite)
@@ -396,7 +508,7 @@ func (s *SMU) admit(req Request, done DoneFunc) {
 	req.Trace.AddSpan(trace.LayerSMU, "pmshr-write", now+fetchCost, now+fetchCost+t.PMSHRWrite)
 	req.Trace.AddSpan(trace.LayerNVMe, "nvme-cmd-write", now+fetchCost+t.PMSHRWrite, now+fetchCost+t.PMSHRWrite+t.CmdWrite)
 	issueCost := fetchCost + t.PMSHRWrite + t.CmdWrite
-	s.eng.After(issueCost, func() { s.issue(e) })
+	s.eng.PostArg(issueCost, s.issueFn, e)
 }
 
 // allocCID hands out a command identifier not currently in flight. Each
@@ -413,7 +525,7 @@ func (s *SMU) allocCID() uint16 {
 		if cid == 0 {
 			continue
 		}
-		if _, busy := s.byCID[cid]; !busy {
+		if s.lookupCID(cid) == nil {
 			return cid
 		}
 	}
@@ -424,7 +536,6 @@ func (s *SMU) allocCID() uint16 {
 func (s *SMU) issue(e *pmshrEntry) {
 	e.attempts++
 	e.cid = s.allocCID()
-	s.byCID[e.cid] = e
 	cmd := nvme.Command{
 		Opcode: nvme.OpRead,
 		CID:    e.cid,
@@ -441,15 +552,12 @@ func (s *SMU) issue(e *pmshrEntry) {
 	t := s.timing
 	now := s.eng.Now()
 	e.req.Trace.AddSpan(trace.LayerNVMe, "sq-doorbell", now, now+t.Doorbell)
-	s.eng.After(t.Doorbell, func() {
-		e.dev.dev.RingSQDoorbell(e.dev.qp.ID)
-		// Opportunistically refill the prefetch buffer during the
-		// device I/O time — this is what hides the memory latency of
-		// free-page fetches.
-		s.queueFor(e.req.Core).Prefetch()
-	})
+	s.eng.PostArg(t.Doorbell, s.doorbellFn, e)
 	if s.policy.CmdTimeout > 0 {
-		e.timeout = s.eng.After(t.Doorbell+s.policy.CmdTimeout, func() { s.onTimeout(e) })
+		// Pooled handle: onTimeout nils e.timeout as its first action and
+		// every Cancel site nils it immediately after, so the handle never
+		// outlives the event.
+		e.timeout = s.eng.AtArgPooled(now+t.Doorbell+s.policy.CmdTimeout, s.timeoutFn, e)
 	}
 }
 
@@ -471,13 +579,12 @@ func (s *SMU) onTimeout(e *pmshrEntry) {
 // path (the paper's graceful degradation), recycling the frame via finish.
 func (s *SMU) recover(e *pmshrEntry, status uint16) {
 	if nvme.StatusRetryable(status) && e.attempts <= s.policy.MaxRetries {
-		delete(s.byCID, e.cid)
 		e.cid = 0
 		backoff := s.policy.Backoff << (e.attempts - 1)
 		s.stats.Retries++
 		now := s.eng.Now()
 		e.req.Trace.AddSpan(trace.LayerSMU, "retry-backoff", now, now+backoff)
-		s.eng.After(backoff, func() { s.issue(e) })
+		s.eng.PostArg(backoff, s.issueFn, e)
 		return
 	}
 	if status == nvme.StatusUncorrectable || status == nvme.StatusWriteFault {
@@ -495,7 +602,7 @@ func (s *SMU) admitAnon(req Request, done DoneFunc) {
 	rec, fromBuf, ok := freeq.Pop()
 	if !ok {
 		s.stats.NoFreePage++
-		s.eng.After(s.timing.Notify, func() { done(ResultNoFreePage, 0) })
+		s.eng.Post(s.timing.Notify, func() { done(ResultNoFreePage, 0) })
 		return
 	}
 	fetchCost := s.timing.FreePageHit
@@ -509,8 +616,10 @@ func (s *SMU) admitAnon(req Request, done DoneFunc) {
 	addr := req.PTE.Addr()
 	idx := s.freeIdx[len(s.freeIdx)-1]
 	s.freeIdx = s.freeIdx[:len(s.freeIdx)-1]
-	e := &pmshrEntry{idx: idx, pteAddr: addr, req: req, frame: rec, waiters: []DoneFunc{done}}
-	s.pmshr[addr] = e
+	e := s.getEntry()
+	e.idx, e.pteAddr, e.req, e.frame = idx, addr, req, rec
+	e.waiters = append(e.waiters, done)
+	s.slots[idx] = e
 
 	t := s.timing
 	s.trace("free page fetch", fetchCost)
@@ -522,66 +631,76 @@ func (s *SMU) admitAnon(req Request, done DoneFunc) {
 	req.Trace.AddSpan(trace.LayerSMU, "pmshr-write", now+fetchCost, now+fetchCost+t.PMSHRWrite)
 	req.Trace.AddSpan(trace.LayerSMU, "pt-update", now+fetchCost+t.PMSHRWrite, now+fetchCost+t.PMSHRWrite+t.PTUpdate)
 	req.Trace.AddSpan(trace.LayerSMU, "notify-mmu", now+fetchCost+t.PMSHRWrite+t.PTUpdate, now+fetchCost+t.PMSHRWrite+t.PTUpdate+t.Notify)
-	s.eng.After(fetchCost+t.PMSHRWrite+t.PTUpdate+t.Notify, func() {
-		pte := pagetable.MakePresent(rec.PFN, req.Prot, false)
-		req.PTE.Set(pte)
-		pagetable.MarkUnsynced(req.PUD, req.PMD)
-		s.stats.AnonZeroFill++
-		s.stats.Handled++
-		s.finish(e, ResultOK, pte)
-		freeq.Prefetch()
-	})
+	s.eng.PostArg(fetchCost+t.PMSHRWrite+t.PTUpdate+t.Notify, s.anonFillFn, e)
+}
+
+// anonFill completes a first-touch anonymous miss: install the zero-filled
+// frame's PTE and broadcast.
+func (s *SMU) anonFill(e *pmshrEntry) {
+	pte := pagetable.MakePresent(e.frame.PFN, e.req.Prot, false)
+	e.req.PTE.Set(pte)
+	pagetable.MarkUnsynced(e.req.PUD, e.req.PMD)
+	s.stats.AnonZeroFill++
+	s.stats.Handled++
+	core := e.req.Core
+	s.finish(e, ResultOK, pte)
+	s.queueFor(core).Prefetch()
 }
 
 // onSnoop is the completion unit: it watches memory writes from the PCIe
-// root complex at CQ base + head, handles the CQ protocol, updates the page
-// table and broadcasts.
+// root complex at CQ base + head, and after the protocol-handling latency
+// runs cqHandle.
 func (s *SMU) onSnoop(dev *devSlot, _ nvme.Completion) {
+	s.trace("CQ handle", s.timing.CQHandle)
+	s.eng.PostArg(s.timing.CQHandle, s.cqHandleFn, dev)
+}
+
+// cqHandle handles the CQ protocol, updates the page table and broadcasts.
+func (s *SMU) cqHandle(dev *devSlot) {
 	t := s.timing
-	s.trace("CQ handle", t.CQHandle)
-	snoopAt := s.eng.Now()
-	s.eng.After(t.CQHandle, func() {
-		cp, ok := dev.qp.PollCQ()
-		if !ok {
-			return // spurious snoop
-		}
-		dev.qp.ConsumeCQ()
-		e, ok := s.byCID[cp.CID]
-		if !ok {
-			// Completion for an abandoned attempt (the SMU timed out and
-			// moved on, or already failed the walk): drop it.
-			return
-		}
-		e.req.Trace.AddSpan(trace.LayerNVMe, "cq-handle", snoopAt, s.eng.Now())
-		if e.timeout != nil {
-			e.timeout.Cancel()
-			e.timeout = nil
-		}
-		if !cp.OK() {
-			s.stats.IOErrors++
-			e.req.Trace.Mark(trace.LayerNVMe, "error-completion", s.eng.Now())
-			s.recover(e, cp.Status)
-			return
-		}
-		s.trace("PT update", t.PTUpdate)
-		ptAt := s.eng.Now()
-		e.req.Trace.AddSpan(trace.LayerSMU, "pt-update", ptAt, ptAt+t.PTUpdate)
-		s.eng.After(t.PTUpdate, func() {
-			// Replace the LBA field with the PFN; leave the PTE's LBA bit
-			// set so kpted later updates OS metadata, and mark the upper
-			// levels.
-			pte := pagetable.MakePresent(e.frame.PFN, e.req.Prot, false)
-			e.req.PTE.Set(pte)
-			pagetable.MarkUnsynced(e.req.PUD, e.req.PMD)
-			s.trace("notify MMU", t.Notify)
-			notifyAt := s.eng.Now()
-			e.req.Trace.AddSpan(trace.LayerSMU, "notify-mmu", notifyAt, notifyAt+t.Notify)
-			s.eng.After(t.Notify, func() {
-				s.stats.Handled++
-				s.finish(e, ResultOK, pte)
-			})
-		})
-	})
+	// The snoop that scheduled us fired exactly CQHandle ago.
+	snoopAt := s.eng.Now() - t.CQHandle
+	cp, ok := dev.qp.PollCQ()
+	if !ok {
+		return // spurious snoop
+	}
+	dev.qp.ConsumeCQ()
+	e := s.lookupCID(cp.CID)
+	if e == nil {
+		// Completion for an abandoned attempt (the SMU timed out and
+		// moved on, or already failed the walk): drop it.
+		return
+	}
+	e.req.Trace.AddSpan(trace.LayerNVMe, "cq-handle", snoopAt, s.eng.Now())
+	if e.timeout != nil {
+		e.timeout.Cancel()
+		e.timeout = nil
+	}
+	if !cp.OK() {
+		s.stats.IOErrors++
+		e.req.Trace.Mark(trace.LayerNVMe, "error-completion", s.eng.Now())
+		s.recover(e, cp.Status)
+		return
+	}
+	s.trace("PT update", t.PTUpdate)
+	ptAt := s.eng.Now()
+	e.req.Trace.AddSpan(trace.LayerSMU, "pt-update", ptAt, ptAt+t.PTUpdate)
+	s.eng.PostArg(t.PTUpdate, s.ptUpdateFn, e)
+}
+
+// ptUpdate installs the fetched frame's PTE — "replace the LBA field with
+// the PFN" — leaving the PTE's LBA bit set so kpted later updates OS
+// metadata, and marking the upper levels; then schedules the broadcast.
+func (s *SMU) ptUpdate(e *pmshrEntry) {
+	t := s.timing
+	pte := pagetable.MakePresent(e.frame.PFN, e.req.Prot, false)
+	e.req.PTE.Set(pte)
+	e.newPTE = pte
+	pagetable.MarkUnsynced(e.req.PUD, e.req.PMD)
+	s.trace("notify MMU", t.Notify)
+	notifyAt := s.eng.Now()
+	e.req.Trace.AddSpan(trace.LayerSMU, "notify-mmu", notifyAt, notifyAt+t.Notify)
+	s.eng.PostArg(t.Notify, s.notifyFn, e)
 }
 
 func (s *SMU) finish(e *pmshrEntry, res Result, pte pagetable.Entry) {
@@ -589,11 +708,8 @@ func (s *SMU) finish(e *pmshrEntry, res Result, pte pagetable.Entry) {
 		e.timeout.Cancel()
 		e.timeout = nil
 	}
-	delete(s.pmshr, e.pteAddr)
-	if e.cid != 0 {
-		delete(s.byCID, e.cid)
-		e.cid = 0
-	}
+	s.slots[e.idx] = nil
+	e.cid = 0
 	s.freeIdx = append(s.freeIdx, e.idx)
 	if res == ResultOK {
 		s.stats.FramesInstalled++
@@ -603,17 +719,26 @@ func (s *SMU) finish(e *pmshrEntry, res Result, pte pagetable.Entry) {
 		s.queueFor(e.req.Core).Requeue(e.frame)
 		s.stats.FramesRecycled++
 	}
+	addr := e.pteAddr
 	for _, w := range e.waiters {
 		w(res, pte)
 	}
-	s.checkBarriers(e.pteAddr)
+	s.checkBarriers(addr)
 	// Admit one backlogged request per freed slot.
-	if len(s.backlog) > 0 {
-		item := s.backlog[0]
-		s.backlog = s.backlog[1:]
+	if s.backlogHead < len(s.backlog) {
+		item := s.backlog[s.backlogHead]
+		s.backlog[s.backlogHead] = backlogItem{}
+		s.backlogHead++
+		if s.backlogHead == len(s.backlog) {
+			s.backlog = s.backlog[:0]
+			s.backlogHead = 0
+		}
 		item.req.Trace.AddSpan(trace.LayerSMU, "pmshr-backlog-wait", item.at, s.eng.Now())
+		s.putEntry(e)
 		s.admit(item.req, item.done)
+		return
 	}
+	s.putEntry(e)
 }
 
 // Barrier invokes done once no outstanding miss references any of the given
@@ -623,12 +748,12 @@ func (s *SMU) finish(e *pmshrEntry, res Result, pte pagetable.Entry) {
 func (s *SMU) Barrier(addrs []pagetable.EntryAddr, done func()) {
 	waiting := make(map[pagetable.EntryAddr]bool)
 	for _, a := range addrs {
-		if _, ok := s.pmshr[a]; ok {
+		if s.lookup(a) != nil {
 			waiting[a] = true
 		}
 	}
 	if len(waiting) == 0 {
-		s.eng.After(0, done)
+		s.eng.Post(0, done)
 		return
 	}
 	s.barriers = append(s.barriers, &barrier{waiting: waiting, done: done})
@@ -636,9 +761,11 @@ func (s *SMU) Barrier(addrs []pagetable.EntryAddr, done func()) {
 
 // BarrierAll invokes done once every currently outstanding miss completes.
 func (s *SMU) BarrierAll(done func()) {
-	addrs := make([]pagetable.EntryAddr, 0, len(s.pmshr))
-	for a := range s.pmshr {
-		addrs = append(addrs, a)
+	addrs := make([]pagetable.EntryAddr, 0, s.Outstanding())
+	for _, e := range s.slots {
+		if e != nil {
+			addrs = append(addrs, e.pteAddr)
+		}
 	}
 	s.Barrier(addrs, done)
 }
@@ -648,7 +775,7 @@ func (s *SMU) checkBarriers(addr pagetable.EntryAddr) {
 	for _, b := range s.barriers {
 		delete(b.waiting, addr)
 		if len(b.waiting) == 0 {
-			s.eng.After(0, b.done)
+			s.eng.Post(0, b.done)
 			continue
 		}
 		kept = append(kept, b)

@@ -93,13 +93,18 @@ type flightKey struct {
 }
 
 // flight is the device-side state of one scheduled command: the completion
-// event and the channel-bookkeeping cleanup that must run exactly once,
-// whether the command completes or is aborted.
+// event plus everything the completion (or an abort) needs to run the
+// channel bookkeeping exactly once. Flights are pooled and recycled, so a
+// steady read stream allocates no per-command device state.
 type flight struct {
 	ev      *sim.Event
-	cleanup func()
-	release func()      // reclaims channel time on abort
-	ms      *trace.Miss // miss context of the command, for abort markers
+	at      *attachment
+	cmd     nvme.Command
+	dec     fault.Decision
+	ch      *channel
+	isWrite bool
+	done    sim.Time // scheduled media-completion time
+	key     flightKey
 }
 
 // Device is one simulated NVMe SSD.
@@ -113,6 +118,8 @@ type Device struct {
 	dma      DMAFunc
 	inj      *fault.Injector
 	inflight map[flightKey]*flight
+	pool     []*flight
+	finishFn func(any) // pre-bound media-completion callback
 	stats    Stats
 }
 
@@ -121,7 +128,7 @@ func New(eng *sim.Engine, prof Profile, rng *sim.Rand, dma DMAFunc) *Device {
 	if prof.Channels <= 0 {
 		panic("ssd: profile needs at least one channel")
 	}
-	return &Device{
+	d := &Device{
 		eng:      eng,
 		prof:     prof,
 		rng:      rng,
@@ -131,6 +138,25 @@ func New(eng *sim.Engine, prof Profile, rng *sim.Rand, dma DMAFunc) *Device {
 		dma:      dma,
 		inflight: make(map[flightKey]*flight),
 	}
+	d.finishFn = func(a any) { d.finish(a.(*flight)) }
+	return d
+}
+
+// getFlight takes a pooled flight record.
+func (d *Device) getFlight() *flight {
+	if n := len(d.pool); n > 0 {
+		fl := d.pool[n-1]
+		d.pool[n-1] = nil
+		d.pool = d.pool[:n-1]
+		return fl
+	}
+	return &flight{}
+}
+
+// putFlight clears a flight and returns it to the pool.
+func (d *Device) putFlight(fl *flight) {
+	*fl = flight{}
+	d.pool = append(d.pool, fl)
 }
 
 // SetInjector attaches a fault injector consulted once per media command.
@@ -186,7 +212,7 @@ func (d *Device) service(at *attachment, cmd nvme.Command) {
 	if status != nvme.StatusSuccess {
 		// Errors complete quickly without touching media.
 		cmd.Trace.Mark(trace.LayerSSD, "rejected", now)
-		d.eng.After(sim.Nano(500), func() { d.complete(at, cmd, status) })
+		d.eng.Post(sim.Nano(500), func() { d.complete(at, cmd, status) })
 		return
 	}
 
@@ -241,53 +267,52 @@ func (d *Device) service(at *attachment, cmd nvme.Command) {
 	if _, dup := d.inflight[key]; dup {
 		panic(fmt.Sprintf("ssd: duplicate in-flight CID %d on queue %d", cmd.CID, at.qp.ID))
 	}
-	fl := &flight{ms: cmd.Trace}
-	if cmd.Opcode == nvme.OpWrite {
-		fl.cleanup = func() { ch.outstandingWrites-- }
-	}
-	fl.release = func() {
-		// An aborted command stops occupying its channel. Only the channel
-		// tail can be reclaimed: once a later command queued behind this
-		// one, the media time is already committed.
-		if ch.freeAt == done {
-			if now := d.eng.Now(); now < ch.freeAt {
-				ch.freeAt = now
-			}
-		}
-	}
-	fl.ev = d.eng.At(done, func() {
-		delete(d.inflight, key)
-		if fl.cleanup != nil {
-			fl.cleanup()
-		}
-		switch dec.Kind {
-		case fault.Drop:
-			// The command is lost inside the device: no DMA, no completion.
-			// Only a host-side timeout (followed by Abort) recovers.
-			d.stats.InjDropped++
-			cmd.Trace.Mark(trace.LayerSSD, "fault-dropped", done)
-			return
-		case fault.Transient:
-			d.stats.InjTransient++
-			cmd.Trace.Mark(trace.LayerSSD, "fault-transient", done)
-			d.complete(at, cmd, nvme.StatusCmdInterrupted)
-			return
-		case fault.UECC:
-			d.stats.InjUECC++
-			cmd.Trace.Mark(trace.LayerSSD, "fault-uecc", done)
-			if cmd.Opcode == nvme.OpRead {
-				d.complete(at, cmd, nvme.StatusUncorrectable)
-			} else {
-				d.complete(at, cmd, nvme.StatusWriteFault)
-			}
-			return
-		}
-		if d.dma != nil {
-			d.dma(cmd)
-		}
-		d.complete(at, cmd, nvme.StatusSuccess)
-	})
+	fl := d.getFlight()
+	fl.at, fl.cmd, fl.dec, fl.ch, fl.done, fl.key = at, cmd, dec, ch, done, key
+	fl.isWrite = cmd.Opcode == nvme.OpWrite
+	// Pooled handle: finish recycles fl (dropping fl.ev) when the event
+	// fires, and Abort drops it right after Cancel, so the handle never
+	// outlives the event.
+	fl.ev = d.eng.AtArgPooled(done, d.finishFn, fl)
 	d.inflight[key] = fl
+}
+
+// finish runs at a command's media-completion time: channel bookkeeping,
+// injected-fault resolution, DMA, and the completion post.
+func (d *Device) finish(fl *flight) {
+	delete(d.inflight, fl.key)
+	if fl.isWrite {
+		fl.ch.outstandingWrites--
+	}
+	at, cmd, done := fl.at, fl.cmd, fl.done
+	kind := fl.dec.Kind
+	d.putFlight(fl)
+	switch kind {
+	case fault.Drop:
+		// The command is lost inside the device: no DMA, no completion.
+		// Only a host-side timeout (followed by Abort) recovers.
+		d.stats.InjDropped++
+		cmd.Trace.Mark(trace.LayerSSD, "fault-dropped", done)
+		return
+	case fault.Transient:
+		d.stats.InjTransient++
+		cmd.Trace.Mark(trace.LayerSSD, "fault-transient", done)
+		d.complete(at, cmd, nvme.StatusCmdInterrupted)
+		return
+	case fault.UECC:
+		d.stats.InjUECC++
+		cmd.Trace.Mark(trace.LayerSSD, "fault-uecc", done)
+		if cmd.Opcode == nvme.OpRead {
+			d.complete(at, cmd, nvme.StatusUncorrectable)
+		} else {
+			d.complete(at, cmd, nvme.StatusWriteFault)
+		}
+		return
+	}
+	if d.dma != nil {
+		d.dma(cmd)
+	}
+	d.complete(at, cmd, nvme.StatusSuccess)
 }
 
 // Abort cancels an in-flight command the host has given up on (after a
@@ -306,13 +331,19 @@ func (d *Device) Abort(qid, cid uint16) bool {
 	}
 	fl.ev.Cancel()
 	delete(d.inflight, key)
-	if fl.cleanup != nil {
-		fl.cleanup()
+	if fl.isWrite {
+		fl.ch.outstandingWrites--
 	}
-	if fl.release != nil {
-		fl.release()
+	// An aborted command stops occupying its channel. Only the channel
+	// tail can be reclaimed: once a later command queued behind this one,
+	// the media time is already committed.
+	if fl.ch.freeAt == fl.done {
+		if now := d.eng.Now(); now < fl.ch.freeAt {
+			fl.ch.freeAt = now
+		}
 	}
-	fl.ms.Mark(trace.LayerSSD, "aborted", d.eng.Now())
+	fl.cmd.Trace.Mark(trace.LayerSSD, "aborted", d.eng.Now())
+	d.putFlight(fl)
 	d.stats.Aborts++
 	return true
 }

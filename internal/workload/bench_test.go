@@ -27,3 +27,26 @@ func BenchmarkScrambledNext(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestGeneratorsBoundedAndDeterministic asserts the correctness of the
+// generators the benchmarks above measure: outputs stay in range and a
+// fixed seed reproduces the same sequence.
+func TestGeneratorsBoundedAndDeterministic(t *testing.T) {
+	const n = 1 << 20
+	z1, z2 := NewZipfian(n, ZipfTheta), NewZipfian(n, ZipfTheta)
+	r1, r2 := sim.NewRand(9), sim.NewRand(9)
+	s := Scrambled{Gen: NewZipfian(n, ZipfTheta), N: n}
+	rs := sim.NewRand(9)
+	for i := 0; i < 5000; i++ {
+		a, b := z1.Next(r1), z2.Next(r2)
+		if a != b {
+			t.Fatalf("zipfian diverged at draw %d: %d vs %d", i, a, b)
+		}
+		if a >= n {
+			t.Fatalf("zipfian out of range: %d >= %d", a, n)
+		}
+		if v := s.Next(rs); v >= n {
+			t.Fatalf("scrambled out of range: %d >= %d", v, n)
+		}
+	}
+}
