@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-short bench-go docs-check fmt check
+.PHONY: all build test race bench bench-short bench-go docs-check fmt lint check
 
 all: build test
 
@@ -32,6 +32,14 @@ bench-go:
 fmt:
 	gofmt -w .
 
+# lint runs the stock go vet analyzers plus the repo's own hwdplint suite
+# (determinism, pool pairing, sim-time units, hot-path closure captures).
+# See docs/ANALYSIS.md for the analyzers and the //hwdp:ignore syntax.
+lint:
+	$(GO) vet ./...
+	$(GO) build -o bin/hwdplint ./cmd/hwdplint
+	$(GO) vet -vettool=$(CURDIR)/bin/hwdplint ./...
+
 # docs-check enforces the documentation invariants: gofmt-clean sources,
 # package docs and doc comments on every exported symbol, and no broken
 # relative links in markdown. See cmd/docscheck.
@@ -42,4 +50,4 @@ docs-check:
 	fi
 	$(GO) run ./cmd/docscheck
 
-check: build test docs-check
+check: build lint test docs-check

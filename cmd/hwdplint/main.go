@@ -1,0 +1,201 @@
+// Command hwdplint runs the repo's analyzer suite (simdeterminism,
+// poolpair, simtime, eventcapture — see docs/ANALYSIS.md).
+//
+// It speaks the `go vet -vettool` protocol, so the canonical invocation is
+//
+//	go build -o bin/hwdplint ./cmd/hwdplint
+//	go vet -vettool=$(pwd)/bin/hwdplint ./...
+//
+// (that is what `make lint` runs). Invoked with package patterns instead,
+// it loads the packages itself:
+//
+//	./bin/hwdplint ./...
+//
+// Exit status is 2 when any diagnostic is reported, matching go vet.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"hwdp/internal/analysis"
+	"hwdp/internal/analysis/loader"
+	"hwdp/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			// The go command fingerprints vet tools for its action cache.
+			fmt.Println("hwdplint version v1.0.0")
+			return 0
+		case "-flags", "--flags":
+			// The go command asks which flags the tool accepts; hwdplint
+			// has none beyond the protocol ones.
+			fmt.Println("[]")
+			return 0
+		case "-h", "-help", "--help":
+			usage()
+			return 0
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runVetCfg(args[0])
+	}
+	if len(args) == 0 {
+		usage()
+		return 2
+	}
+	return runStandalone(args)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: hwdplint <packages>   (or via go vet -vettool=hwdplint)\n\nanalyzers:\n")
+	for _, a := range suite.Analyzers {
+		fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nsuppress with: //hwdp:ignore <analyzer> <reason>   (reason required)\n")
+}
+
+// vetConfig mirrors the JSON the go command writes to <objdir>/vet.cfg for
+// each vetted package (cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetCfg analyzes one package unit as directed by a vet.cfg file.
+func runVetCfg(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "hwdplint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// Dependencies are vetted only for facts (VetxOnly); hwdplint keeps no
+	// cross-package facts, and only this module's packages are checked.
+	if cfg.VetxOnly || !strings.HasPrefix(analysis.NormalizePkgPath(cfg.ImportPath), "hwdp") {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	files, err := loader.ParseFiles(fset, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		Sizes:     types.SizesFor(compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "hwdplint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	u := &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}
+	diags, err := analysis.Run(u, suite.Analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hwdplint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	return report(fset, diags)
+}
+
+// runStandalone loads package patterns itself and analyzes each unit.
+func runStandalone(patterns []string) int {
+	units, err := loader.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hwdplint: %v\n", err)
+		return 1
+	}
+	status := 0
+	for _, u := range units {
+		diags, err := analysis.Run(u, suite.Analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hwdplint: %s: %v\n", u.Pkg.Path(), err)
+			return 1
+		}
+		if s := report(u.Fset, diags); s > status {
+			status = s
+		}
+	}
+	return status
+}
+
+// report prints diagnostics (paths relative to the working directory where
+// possible) and returns the exit status vet expects: 2 when anything was
+// found, 0 otherwise.
+func report(fset *token.FileSet, diags []analysis.Diagnostic) int {
+	if len(diags) == 0 {
+		return 0
+	}
+	wd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		name := pos.Filename
+		if wd != "" {
+			if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s [%s]\n", name, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+	return 2
+}

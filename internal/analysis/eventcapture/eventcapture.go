@@ -1,0 +1,124 @@
+// Package eventcapture flags closures handed to the event engine's
+// scheduling methods (Post, PostAt, After, At) in hot-path packages when
+// they capture local variables. Each such closure is a fresh heap
+// allocation on every call — on the page-miss path that is millions of
+// allocations per run and the difference between 0 and 2 allocs/op in
+// BenchmarkHandleMiss. The fix is a pre-bound method value (captures
+// nothing) or the pooled argument-passing forms PostArg / AtArg /
+// AtArgPooled, which carry the per-event state through a recycled carrier
+// instead of a closure environment.
+//
+// Capture-free closures (pure method values wrapped in func(){...} with
+// only package-level or receiver-free references) are allowed: the
+// compiler hoists those to a single static closure.
+package eventcapture
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"hwdp/internal/analysis"
+)
+
+// Analyzer is the eventcapture check.
+var Analyzer = &analysis.Analyzer{
+	Name: "eventcapture",
+	Doc: "flag capturing closures passed to sim.Engine scheduling methods in " +
+		"hot-path packages; use pre-bound callbacks or PostArg/AtArgPooled",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsHotPathPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkSchedule(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSchedule inspects one call: if it is an Engine scheduling method
+// taking a bare func() and the argument is a capturing closure, report it.
+func checkSchedule(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	name, ok := analysis.IsEngineScheduler(fn)
+	if !ok || !analysis.EngineSchedulers[name] {
+		return // PostArg/AtArg/AtArgPooled are the sanctioned forms
+	}
+	for _, arg := range call.Args {
+		lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		caps := capturedVars(pass, lit)
+		if len(caps) == 0 {
+			continue
+		}
+		pass.Reportf(lit.Pos(), "closure passed to sim.Engine.%s captures %s, allocating a closure environment per event on the hot path: use a pre-bound callback or the pooled PostArg/AtArgPooled forms",
+			name, joinVars(caps))
+	}
+}
+
+// capturedVars lists the names of local variables the closure captures:
+// identifiers resolving to function-scoped variables declared outside the
+// closure body. Package-level variables, fields, and the closure's own
+// parameters and locals are not captures.
+func capturedVars(pass *analysis.Pass, lit *ast.FuncLit) []string {
+	seen := map[*types.Var]bool{}
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || seen[v] || v.IsField() {
+			return true
+		}
+		if !insideFunc(v, pass.Pkg) {
+			return true // package-level or imported: static, no environment
+		}
+		if lit.Pos() <= v.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the closure (param or local)
+		}
+		seen[v] = true
+		names = append(names, v.Name())
+		return true
+	})
+	sort.Strings(names)
+	return names
+}
+
+// insideFunc reports whether v is declared in some function's scope (as
+// opposed to package or universe scope) of pkg.
+func insideFunc(v *types.Var, pkg *types.Package) bool {
+	if v.Pkg() == nil || v.Pkg().Path() != pkg.Path() {
+		return false
+	}
+	scope := v.Parent()
+	if scope == nil {
+		return false // fields, unresolved
+	}
+	return scope != v.Pkg().Scope() && scope != types.Universe
+}
+
+// joinVars renders a captured-variable list for the diagnostic.
+func joinVars(names []string) string {
+	switch len(names) {
+	case 0:
+		return "nothing"
+	case 1:
+		return "variable " + names[0]
+	}
+	return "variables " + strings.Join(names, ", ")
+}

@@ -1,0 +1,12 @@
+package eventcapture_test
+
+import (
+	"testing"
+
+	"hwdp/internal/analysis/analyzertest"
+	"hwdp/internal/analysis/eventcapture"
+)
+
+func TestEventcapture(t *testing.T) {
+	analyzertest.Run(t, "../testdata", "hwdp/internal/mmu", eventcapture.Analyzer)
+}

@@ -1,0 +1,12 @@
+package simdeterminism_test
+
+import (
+	"testing"
+
+	"hwdp/internal/analysis/analyzertest"
+	"hwdp/internal/analysis/simdeterminism"
+)
+
+func TestSimdeterminism(t *testing.T) {
+	analyzertest.Run(t, "../testdata", "hwdp/internal/kernel", simdeterminism.Analyzer)
+}

@@ -1,0 +1,12 @@
+package simtime_test
+
+import (
+	"testing"
+
+	"hwdp/internal/analysis/analyzertest"
+	"hwdp/internal/analysis/simtime"
+)
+
+func TestSimtime(t *testing.T) {
+	analyzertest.Run(t, "../testdata", "simtimetest", simtime.Analyzer)
+}

@@ -1,0 +1,19 @@
+// Package suite registers the repo's analyzers in one place, shared by
+// cmd/hwdplint and the repo-level lint regression test.
+package suite
+
+import (
+	"hwdp/internal/analysis"
+	"hwdp/internal/analysis/eventcapture"
+	"hwdp/internal/analysis/poolpair"
+	"hwdp/internal/analysis/simdeterminism"
+	"hwdp/internal/analysis/simtime"
+)
+
+// Analyzers is the full hwdplint suite, in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	simdeterminism.Analyzer,
+	poolpair.Analyzer,
+	simtime.Analyzer,
+	eventcapture.Analyzer,
+}

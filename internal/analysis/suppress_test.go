@@ -1,0 +1,59 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"hwdp/internal/analysis"
+	"hwdp/internal/analysis/analyzertest"
+	"hwdp/internal/analysis/simtime"
+)
+
+// TestSuppressionMachinery drives the //hwdp:ignore rules end to end over
+// the ignoretest fixture: a reason-less suppression is rejected AND does
+// not suppress; a bare directive is malformed; an unknown analyzer name is
+// rejected; "all" with a reason suppresses; diagnostics in _test.go
+// fixture files are dropped.
+func TestSuppressionMachinery(t *testing.T) {
+	u := analyzertest.Load(t, "testdata", "ignoretest")
+	diags, err := analysis.Run(u, []*analysis.Analyzer{simtime.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type want struct {
+		analyzer string
+		substr   string
+	}
+	wants := []want{
+		// line a: the reason-less suppression is itself flagged and the
+		// simtime diagnostic survives.
+		{"simtime", "unit-less constant 5"},
+		{"hwdpignore", "needs a non-empty reason"},
+		// line b: bare directive.
+		{"simtime", "unit-less constant 6"},
+		{"hwdpignore", "malformed suppression"},
+		// line c: unknown analyzer name.
+		{"simtime", "unit-less constant 7"},
+		{"hwdpignore", `unknown analyzer "nosuchanalyzer"`},
+		// line d ("//hwdp:ignore all <reason>"): fully suppressed — no entry.
+		// _test.go fixture file: diagnostic dropped — no entry.
+	}
+	if len(diags) != len(wants) {
+		for _, d := range diags {
+			t.Logf("got: [%s] %s: %s", d.Analyzer, u.Fset.Position(d.Pos), d.Message)
+		}
+		t.Fatalf("got %d diagnostics, want %d", len(diags), len(wants))
+	}
+	for i, w := range wants {
+		if diags[i].Analyzer != w.analyzer || !strings.Contains(diags[i].Message, w.substr) {
+			t.Errorf("diagnostic %d = [%s] %q, want [%s] containing %q",
+				i, diags[i].Analyzer, diags[i].Message, w.analyzer, w.substr)
+		}
+	}
+	for _, d := range diags {
+		if strings.HasSuffix(u.Fset.Position(d.Pos).Filename, "_test.go") {
+			t.Errorf("diagnostic leaked from a _test.go fixture file: %s", d.Message)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+// Package badpool carries malformed //hwdp:pool directives; expectations
+// are asserted programmatically (directive diagnostics land on the
+// directive comment's own line).
+package badpool
+
+type rec struct{}
+
+//hwdp:pool grab thing
+func get() *rec { return nil }
+
+//hwdp:pool acquire thing result=x
+func get2() *rec { return nil }
+
+//hwdp:pool acquire thing flavor=blue
+func get3() *rec { return nil }

@@ -1,0 +1,6 @@
+// Package metrics is the analyzer-fixture stub of the real metrics
+// package; simdeterminism recognizes calls into it by import path.
+package metrics
+
+// Add records one sample (stub).
+func Add(name string, v float64) {}

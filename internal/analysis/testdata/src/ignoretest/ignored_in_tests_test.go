@@ -1,0 +1,9 @@
+// This _test.go file carries a violation on purpose: the framework drops
+// diagnostics in test files, and suppress_test.go asserts none surface.
+package ignoretest
+
+import "hwdp/internal/sim"
+
+func g() sim.Time {
+	return sim.Time(9)
+}

@@ -1,0 +1,16 @@
+// Package ignoretest exercises the suppression machinery itself:
+// reason-less, malformed, unknown-analyzer, and "all" suppressions. Its
+// expectations are asserted programmatically (see
+// internal/analysis/suppress_test.go) because the hwdpignore diagnostics
+// land on comment lines that cannot also carry a `// want`.
+package ignoretest
+
+import "hwdp/internal/sim"
+
+func f() {
+	a := sim.Time(5) //hwdp:ignore simtime
+	b := sim.Time(6) //hwdp:ignore
+	c := sim.Time(7) //hwdp:ignore nosuchanalyzer because reasons
+	d := sim.Time(8) //hwdp:ignore all fixture-wide waiver
+	_, _, _, _ = a, b, c, d
+}

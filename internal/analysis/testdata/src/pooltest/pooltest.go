@@ -1,0 +1,99 @@
+// Package pooltest is the poolpair analyzer fixture: annotated pool
+// accessors with releasing, handing-off, leaking, and suppressed callers.
+package pooltest
+
+type entry struct{ next *entry }
+
+type pool struct {
+	free []*entry
+	live []*entry
+}
+
+//hwdp:pool acquire entry
+func (p *pool) get() *entry { return nil }
+
+//hwdp:pool release entry
+func (p *pool) put(e *entry) {}
+
+//hwdp:pool acquire rec result=1
+func (p *pool) getRec() (bool, *entry) { return false, nil }
+
+//hwdp:pool release rec
+func (p *pool) putRec(e *entry) {}
+
+func (p *pool) okSimple() {
+	e := p.get()
+	p.put(e)
+}
+
+func (p *pool) okDefer() {
+	e := p.get()
+	defer p.put(e)
+	work()
+}
+
+func (p *pool) okHandOff() {
+	e := p.get()
+	p.live = append(p.live, e)
+}
+
+func (p *pool) okReturn() *entry {
+	e := p.get()
+	return e
+}
+
+func (p *pool) okBranches(b bool) {
+	e := p.get()
+	if b {
+		p.put(e)
+		return
+	}
+	p.put(e)
+}
+
+func (p *pool) okMulti(b bool) {
+	ok, e := p.getRec()
+	if ok || b {
+		p.putRec(e)
+		return
+	}
+	p.putRec(e)
+}
+
+func (p *pool) leakErrPath(b bool) error {
+	e := p.get() // want `pooled object "e" \(pool "entry"\) is not released on every path`
+	if b {
+		return errFail
+	}
+	p.put(e)
+	return nil
+}
+
+func (p *pool) leakDiscard() {
+	p.get() // want `result of pool "entry" acquire is discarded`
+}
+
+func (p *pool) leakMulti(b bool) {
+	_, e := p.getRec() // want `pooled object "e" \(pool "rec"\) is not released on every path`
+	if b {
+		return
+	}
+	p.putRec(e)
+}
+
+func (p *pool) suppressed(b bool) {
+	e := p.get() //hwdp:ignore poolpair ownership recorded in the caller's side table
+	if b {
+		return
+	}
+	p.put(e)
+}
+
+type orphanRec struct{}
+
+//hwdp:pool acquire orphan
+func getOrphan() *orphanRec { return nil } // want `pool "orphan" has an acquire but no //hwdp:pool release`
+
+var errFail error
+
+func work() {}

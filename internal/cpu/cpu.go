@@ -165,6 +165,22 @@ type CPU struct {
 	cores   []*Core
 	threads []*HWThread
 	expApx  func(float64) float64
+
+	// contFn is the pre-bound continuation callback and contPool its
+	// carrier free list: every userChunk/KernelExec/Stall completion is
+	// scheduled through the engine's pooled argument path instead of a
+	// fresh closure (these fire once per execution phase — the hot path).
+	contFn   func(any)
+	contPool []*cpuCont
+}
+
+// cpuCont carries a deferred execution continuation: either user-chunk
+// progress (remaining/chunk set) or a plain end-of-phase idle transition.
+type cpuCont struct {
+	t         *HWThread
+	remaining uint64
+	chunk     uint64
+	done      func()
 }
 
 // New builds a CPU with the given number of physical cores (2 hardware
@@ -174,6 +190,7 @@ func New(eng *sim.Engine, cores int, p Params) *CPU {
 		panic("cpu: need at least one core")
 	}
 	c := &CPU{eng: eng, params: p}
+	c.contFn = c.runCont
 	for i := 0; i < cores; i++ {
 		core := &Core{ID: i}
 		for j := 0; j < 2; j++ {
@@ -258,14 +275,44 @@ func (c *CPU) userChunk(t *HWThread, remaining uint64, done func()) {
 	t.UserInstr += chunk
 	t.UserTime += dur
 	t.warmth = 1 - (1-w)*expNeg(float64(chunk)/p.RecoverInstr)
-	c.eng.Post(dur, func() {
-		if remaining > chunk {
-			c.userChunk(t, remaining-chunk, done)
-			return
-		}
-		t.state = Idle
-		done()
-	})
+	cc := c.getCont()
+	cc.t, cc.remaining, cc.chunk, cc.done = t, remaining, chunk, done
+	c.eng.PostArg(dur, c.contFn, cc)
+}
+
+// getCont takes a pooled continuation carrier.
+//
+//hwdp:pool acquire cont
+func (c *CPU) getCont() *cpuCont {
+	if n := len(c.contPool); n > 0 {
+		cc := c.contPool[n-1]
+		c.contPool[n-1] = nil
+		c.contPool = c.contPool[:n-1]
+		return cc
+	}
+	return &cpuCont{}
+}
+
+// putCont clears a continuation carrier and returns it to the pool.
+//
+//hwdp:pool release cont
+func (c *CPU) putCont(cc *cpuCont) {
+	*cc = cpuCont{}
+	c.contPool = append(c.contPool, cc)
+}
+
+// runCont unpacks a pooled continuation: chain the next user chunk, or
+// idle the thread and fire the caller's completion.
+func (c *CPU) runCont(a any) {
+	cc := a.(*cpuCont)
+	t, remaining, chunk, done := cc.t, cc.remaining, cc.chunk, cc.done
+	c.putCont(cc)
+	if remaining > chunk {
+		c.userChunk(t, remaining-chunk, done)
+		return
+	}
+	t.state = Idle
+	done()
 }
 
 // KernelExec runs kernel work of a known duration on t (the latency model
@@ -284,10 +331,9 @@ func (c *CPU) KernelExec(t *HWThread, dur sim.Time, done func()) {
 	t.KernelTime += dur
 	t.warmth *= expNeg(float64(instr) / p.PolluteInstr)
 	t.state = RunningKernel
-	c.eng.Post(dur, func() {
-		t.state = Idle
-		done()
-	})
+	cc := c.getCont()
+	cc.t, cc.done = t, done
+	c.eng.PostArg(dur, c.contFn, cc)
 }
 
 // Stall blocks the pipeline for dur — the HWDP page-miss behavior: the
@@ -299,10 +345,9 @@ func (c *CPU) Stall(t *HWThread, dur sim.Time, done func()) {
 	}
 	t.StallTime += dur
 	t.state = Stalled
-	c.eng.Post(dur, func() {
-		t.state = Idle
-		done()
-	})
+	cc := c.getCont()
+	cc.t, cc.done = t, done
+	c.eng.PostArg(dur, c.contFn, cc)
 }
 
 // AccountContextSwitch records a context switch on t (time is charged via

@@ -93,7 +93,7 @@ func (k *Kernel) osFaultPath(th *Thread, as *mmu.AddressSpace, va pagetable.VAdd
 					// page queue synchronously before returning to user.
 					k.stats.FaultRefills++
 					var total int
-					for _, s := range k.smus {
+					for _, s := range k.smuList {
 						total += k.refillSMU(s)
 					}
 					k.kspan(ms, "fault-queue-refill", hw, c.RefillPerFrame*sim.Time(total), done)
@@ -243,7 +243,7 @@ func (k *Kernel) finishMap(as *mmu.AddressSpace, va pagetable.VAddr, vma *VMA, p
 // the faulting core, while the fault's device I/O is outstanding.
 func (k *Kernel) refillOnFault(hw *cpu.HWThread) {
 	var total int
-	for _, s := range k.smus {
+	for _, s := range k.smuList {
 		total += k.refillSMU(s)
 	}
 	if total > 0 {

@@ -10,6 +10,7 @@ package kernel
 import (
 	"container/list"
 	"fmt"
+	"sort"
 
 	"hwdp/internal/cpu"
 	"hwdp/internal/fs"
@@ -260,6 +261,10 @@ type Kernel struct {
 
 	storages map[storKey]*storage
 	smus     map[uint8]*smu.SMU
+	// smuList mirrors smus sorted by SID: refill sweeps must visit SMUs in
+	// a deterministic order (map iteration would allocate frames in random
+	// order and break bit-reproducibility).
+	smuList []*smu.SMU
 
 	procs    []*Process
 	byASID   map[uint32]*Process
@@ -283,6 +288,12 @@ type Kernel struct {
 	stats      Stats
 	started    bool
 	tracer     *trace.Tracer
+
+	// Pooled retry records for kexec's busy-wait poll: a core can stay
+	// busy across many 150ns polls, so the retry must not allocate a
+	// closure per attempt.
+	kexecFn   func(any)
+	kexecPool []*kexecReq
 }
 
 // New wires a kernel over the machine components. Background threads run on
@@ -310,6 +321,7 @@ func New(eng *sim.Engine, c *cpu.CPU, m *mem.Memory, mm *mmu.MMU, cfg Config,
 	}
 	mm.SetOSFaultHandler(k.handleFault)
 	mm.DispatchHW = cfg.Scheme == HWDP
+	k.kexecFn = k.runKexec
 	return k
 }
 
@@ -349,6 +361,8 @@ func (k *Kernel) AttachSMU(s *smu.SMU) {
 		panic(fmt.Sprintf("kernel: SMU %d attached twice", s.SID))
 	}
 	k.smus[s.SID] = s
+	k.smuList = append(k.smuList, s)
+	sort.Slice(k.smuList, func(i, j int) bool { return k.smuList[i].SID < k.smuList[j].SID })
 }
 
 // Start primes the free page queues and launches the background threads.
@@ -359,7 +373,7 @@ func (k *Kernel) Start() {
 	}
 	k.started = true
 	if k.cfg.Scheme == HWDP {
-		for _, s := range k.smus {
+		for _, s := range k.smuList {
 			k.refillSMU(s)
 		}
 		if !k.cfg.DisableKpoold {
@@ -405,10 +419,45 @@ func (p *Process) findVMA(va pagetable.VAddr) *VMA {
 // is serviced at the next instruction boundary of the critical section).
 func (k *Kernel) kexec(hw *cpu.HWThread, d sim.Time, fn func()) {
 	if hw.State() != cpu.Idle {
-		k.eng.Post(sim.Nano(150), func() { k.kexec(hw, d, fn) })
+		r := k.getKexecReq()
+		r.hw, r.d, r.fn = hw, d, fn
+		k.eng.PostArg(sim.Nano(150), k.kexecFn, r)
 		return
 	}
 	k.cpu.KernelExec(hw, d, fn)
+}
+
+// kexecReq carries the arguments of a delayed kexec retry through the
+// event queue without a per-poll closure.
+type kexecReq struct {
+	hw *cpu.HWThread
+	d  sim.Time
+	fn func()
+}
+
+//hwdp:pool acquire kexecreq
+func (k *Kernel) getKexecReq() *kexecReq {
+	if n := len(k.kexecPool); n > 0 {
+		r := k.kexecPool[n-1]
+		k.kexecPool[n-1] = nil
+		k.kexecPool = k.kexecPool[:n-1]
+		return r
+	}
+	return &kexecReq{}
+}
+
+//hwdp:pool release kexecreq
+func (k *Kernel) putKexecReq(r *kexecReq) {
+	*r = kexecReq{}
+	k.kexecPool = append(k.kexecPool, r)
+}
+
+// runKexec is the pre-bound PostArg callback for kexec retries.
+func (k *Kernel) runKexec(a any) {
+	r := a.(*kexecReq)
+	hw, d, fn := r.hw, r.d, r.fn
+	k.putKexecReq(r)
+	k.kexec(hw, d, fn)
 }
 
 // kspan is kexec plus span recording: when the miss is traced, the kernel
@@ -474,6 +523,10 @@ func (k *Kernel) submitIO(st *storage, hw *cpu.HWThread, op nvme.Opcode, lba uin
 	p := &osPending{done: done}
 	q.pending[cid] = p
 	if k.cfg.BlockTimeout > 0 {
+		// The watchdog needs the cancelable handle (canceled on normal
+		// completion), and arming is gated on the fault-injection
+		// BlockTimeout knob — off on the steady-state path.
+		//hwdp:ignore eventcapture cancelable watchdog, armed only when the fault-injection BlockTimeout knob is set
 		p.timeout = k.eng.After(k.cfg.BlockTimeout, func() {
 			if q.pending[cid] != p {
 				return

@@ -67,6 +67,7 @@ func (k *Kernel) allocFrame(hw *cpu.HWThread, done func(mem.FrameID)) {
 			// Still nothing (all pages referenced or under writeback):
 			// retry shortly; forward progress comes from writeback
 			// completions.
+			//hwdp:ignore eventcapture memory-exhaustion retry after a failed direct reclaim, off the steady-state path
 			k.eng.Post(50*sim.Microsecond, func() { k.allocFrame(hw, done) })
 		})
 	})

@@ -37,7 +37,7 @@ func (k *Kernel) kptedTick() {
 // rarely sees an empty queue.
 func (k *Kernel) kpooldTick() {
 	var total int
-	for _, s := range k.smus {
+	for _, s := range k.smuList {
 		total += k.refillSMU(s)
 	}
 	k.stats.KpooldFrames += uint64(total)

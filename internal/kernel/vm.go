@@ -21,6 +21,11 @@ func (k *Kernel) Access(th *Thread, va pagetable.VAddr, write bool, done func(mm
 	timedOut := false
 	var tev *sim.Event
 	if k.cfg.StallTimeout > 0 && k.cfg.Scheme == HWDP {
+		// Needs the cancelable handle (canceled when the access completes
+		// before the deadline) and shares timedOut with the completion
+		// callback below; the timer fires only on I/Os slower than the
+		// stall budget.
+		//hwdp:ignore eventcapture cancelable stall watchdog sharing state with the completion callback; fires only past the stall budget
 		tev = k.eng.After(k.cfg.StallTimeout, func() {
 			if th.stallEnd == nil {
 				return // the miss moved into a kernel path; not a pure stall

@@ -116,16 +116,35 @@ type MMU struct {
 
 	osFault OSFaultFunc
 	stats   Stats
+
+	// walkCb is the pre-bound runWalk callback and walkFree the walkReq
+	// free list: together they make walk scheduling allocation-free (one
+	// walkReq per in-flight walk, recycled forever).
+	walkCb   func(any)
+	walkFree []*walkReq
+}
+
+// walkReq carries a pending walk's arguments through the engine's pooled
+// argument path, replacing a per-TLB-miss closure allocation.
+type walkReq struct {
+	ctx   any
+	as    *AddressSpace
+	va    pagetable.VAddr
+	write bool
+	done  func(Result)
+	t0    sim.Time
 }
 
 // New builds an MMU with the default TLB geometry and walk latency.
 func New(eng *sim.Engine) *MMU {
-	return &MMU{
+	m := &MMU{
 		eng:         eng,
 		tlb:         NewTLB(256, 6),
 		WalkLatency: sim.Nano(30),
 		DispatchHW:  true,
 	}
+	m.walkCb = m.runWalk
+	return m
 }
 
 // TLB exposes the TLB (for shootdowns by the kernel).
@@ -171,8 +190,33 @@ func (m *MMU) Access(as *AddressSpace, va pagetable.VAddr, write bool, ctx any, 
 		m.tlb.Invalidate(as.ASID, vpn)
 	}
 	m.stats.Walks++
-	t0 := m.eng.Now()
-	m.eng.Post(m.WalkLatency, func() { m.walk(ctx, as, va, write, done, false, t0, nil) })
+	r := m.getWalkReq()
+	r.ctx, r.as, r.va, r.write, r.done, r.t0 = ctx, as, va, write, done, m.eng.Now()
+	m.eng.PostArg(m.WalkLatency, m.walkCb, r)
+}
+
+//hwdp:pool acquire walkreq
+func (m *MMU) getWalkReq() *walkReq {
+	if n := len(m.walkFree); n > 0 {
+		r := m.walkFree[n-1]
+		m.walkFree = m.walkFree[:n-1]
+		return r
+	}
+	return new(walkReq)
+}
+
+//hwdp:pool release walkreq
+func (m *MMU) putWalkReq(r *walkReq) {
+	*r = walkReq{}
+	m.walkFree = append(m.walkFree, r)
+}
+
+// runWalk unpacks a pooled walkReq and starts the walk proper.
+func (m *MMU) runWalk(arg any) {
+	r := arg.(*walkReq)
+	ctx, as, va, write, done, t0 := r.ctx, r.as, r.va, r.write, r.done, r.t0
+	m.putWalkReq(r)
+	m.walk(ctx, as, va, write, done, false, t0, nil)
 }
 
 // walk resolves one page-table walk. t0 is when the TLB missed (the walk

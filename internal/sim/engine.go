@@ -65,6 +65,8 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // alloc takes an event from the free list, or the heap allocator when the
 // list is empty.
+//
+//hwdp:pool acquire event
 func (e *Engine) alloc() *Event {
 	if n := len(e.free); n > 0 {
 		ev := e.free[n-1]
@@ -79,6 +81,8 @@ func (e *Engine) alloc() *Event {
 // events (At/After) are not recycled: the caller may hold the pointer
 // indefinitely, and reusing it would let a stale Cancel kill an unrelated
 // event.
+//
+//hwdp:pool release event
 func (e *Engine) recycle(ev *Event) {
 	if !ev.pooled {
 		return

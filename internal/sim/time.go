@@ -8,7 +8,10 @@
 // Fig. 11(b)) convert exactly.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Time is a point in (or duration of) virtual time, in picoseconds.
 type Time int64
@@ -21,6 +24,10 @@ const (
 	Millisecond Time = 1000 * Microsecond
 	Second      Time = 1000 * Millisecond
 )
+
+// Never is the sentinel for "no deadline" / "not scheduled". It is the
+// only negative Time with sanctioned uses.
+const Never Time = -1
 
 // DefaultClockHz is the modeled CPU frequency (Intel Xeon E5-2640 v3,
 // Table II of the paper).
@@ -59,6 +66,14 @@ func Micro(us float64) Time { return Time(us * float64(Microsecond)) }
 
 // Nano builds a duration from fractional nanoseconds.
 func Nano(ns float64) Time { return Time(ns * float64(Nanosecond)) }
+
+// Milli builds a duration from fractional milliseconds.
+func Milli(ms float64) Time { return Time(ms * float64(Millisecond)) }
+
+// FromDuration rescales a standard-library time.Duration (nanoseconds)
+// into sim.Time (picoseconds). Converting with a plain sim.Time(d) is a
+// silent 1000x error; the simtime analyzer rejects it and points here.
+func FromDuration(d time.Duration) Time { return Time(d) * Time(Nanosecond) }
 
 // String renders the time with an adaptive unit, for logs and test output.
 func (t Time) String() string {

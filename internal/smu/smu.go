@@ -182,10 +182,12 @@ type SMU struct {
 	stats       Stats
 	barriers    []*barrier
 
-	// Pools: PMSHR entry state and admission carriers are recycled so the
-	// steady-state miss path allocates nothing.
-	entryPool []*pmshrEntry
-	reqPool   []*pendingReq
+	// Pools: PMSHR entry state, admission carriers, and completion-notice
+	// carriers are recycled so the steady-state miss path allocates
+	// nothing.
+	entryPool  []*pmshrEntry
+	reqPool    []*pendingReq
+	noticePool []*doneNotice
 
 	// Pre-bound event callbacks (built once in NewPerCore) so scheduling a
 	// pipeline stage costs no closure allocation.
@@ -197,6 +199,7 @@ type SMU struct {
 	ptUpdateFn func(any)
 	notifyFn   func(any)
 	anonFillFn func(any)
+	noticeFn   func(any)
 
 	// Tracer, when set, observes each handling phase (single-miss
 	// experiments).
@@ -250,9 +253,14 @@ func NewPerCore(eng *sim.Engine, sid uint8, freeQueueDepth, entries, cores int) 
 	s.admitFn = func(a any) {
 		c := a.(*pendingReq)
 		req, done := c.req, c.done
-		c.req, c.done = Request{}, nil
-		s.reqPool = append(s.reqPool, c)
+		s.putReq(c)
 		s.admit(req, done)
+	}
+	s.noticeFn = func(a any) {
+		n := a.(*doneNotice)
+		done, res, pte := n.done, n.res, n.pte
+		s.putNotice(n)
+		done(res, pte)
 	}
 	s.issueFn = func(a any) { s.issue(a.(*pmshrEntry)) }
 	s.doorbellFn = func(a any) {
@@ -359,6 +367,8 @@ func (s *SMU) lookupCID(cid uint16) *pmshrEntry {
 
 // getEntry takes a pooled PMSHR entry record (or allocates the pool's
 // first few).
+//
+//hwdp:pool acquire entry
 func (s *SMU) getEntry() *pmshrEntry {
 	if n := len(s.entryPool); n > 0 {
 		e := s.entryPool[n-1]
@@ -370,6 +380,8 @@ func (s *SMU) getEntry() *pmshrEntry {
 }
 
 // putEntry clears an entry and returns it to the pool.
+//
+//hwdp:pool release entry
 func (s *SMU) putEntry(e *pmshrEntry) {
 	w := e.waiters
 	for i := range w {
@@ -381,6 +393,8 @@ func (s *SMU) putEntry(e *pmshrEntry) {
 }
 
 // getReq takes a pooled admission carrier.
+//
+//hwdp:pool acquire req
 func (s *SMU) getReq() *pendingReq {
 	if n := len(s.reqPool); n > 0 {
 		c := s.reqPool[n-1]
@@ -389,6 +403,52 @@ func (s *SMU) getReq() *pendingReq {
 		return c
 	}
 	return &pendingReq{}
+}
+
+// putReq clears an admission carrier and returns it to the pool.
+//
+//hwdp:pool release req
+func (s *SMU) putReq(c *pendingReq) {
+	c.req, c.done = Request{}, nil
+	s.reqPool = append(s.reqPool, c)
+}
+
+// doneNotice carries a deferred done(res, pte) callback through the
+// engine's pooled argument path, replacing a closure allocation on the
+// late-hit, no-free-page, and I/O-error notify paths.
+type doneNotice struct {
+	done DoneFunc
+	res  Result
+	pte  pagetable.Entry
+}
+
+// getNotice takes a pooled completion-notice carrier.
+//
+//hwdp:pool acquire notice
+func (s *SMU) getNotice() *doneNotice {
+	if n := len(s.noticePool); n > 0 {
+		c := s.noticePool[n-1]
+		s.noticePool[n-1] = nil
+		s.noticePool = s.noticePool[:n-1]
+		return c
+	}
+	return &doneNotice{}
+}
+
+// putNotice clears a notice carrier and returns it to the pool.
+//
+//hwdp:pool release notice
+func (s *SMU) putNotice(n *doneNotice) {
+	*n = doneNotice{}
+	s.noticePool = append(s.noticePool, n)
+}
+
+// notifySchedule fires done(res, pte) after the SMU-to-core notify latency
+// without allocating a closure environment.
+func (s *SMU) notifySchedule(done DoneFunc, res Result, pte pagetable.Entry) {
+	n := s.getNotice()
+	n.done, n.res, n.pte = done, res, pte
+	s.eng.PostArg(s.timing.Notify, s.noticeFn, n)
 }
 
 // AttachDevice initializes one set of NVMe queue descriptor registers for a
@@ -453,7 +513,7 @@ func (s *SMU) admit(req Request, done DoneFunc) {
 		s.stats.LateHits++
 		now := s.eng.Now()
 		req.Trace.AddSpan(trace.LayerSMU, "late-hit-notify", now, now+s.timing.Notify)
-		s.eng.Post(s.timing.Notify, func() { done(ResultOK, cur) })
+		s.notifySchedule(done, ResultOK, cur)
 		return
 	}
 
@@ -472,7 +532,7 @@ func (s *SMU) admit(req Request, done DoneFunc) {
 	dev := s.devs[req.Block.DeviceID]
 	if dev == nil {
 		s.stats.IOErrors++
-		s.eng.Post(s.timing.Notify, func() { done(ResultIOError, 0) })
+		s.notifySchedule(done, ResultIOError, 0)
 		return
 	}
 
@@ -482,7 +542,7 @@ func (s *SMU) admit(req Request, done DoneFunc) {
 		// Free page queue empty: invalidate and fail to the OS, which
 		// handles the fault and refills the queue.
 		s.stats.NoFreePage++
-		s.eng.Post(s.timing.Notify, func() { done(ResultNoFreePage, 0) })
+		s.notifySchedule(done, ResultNoFreePage, 0)
 		return
 	}
 	fetchCost := s.timing.FreePageHit
@@ -602,7 +662,7 @@ func (s *SMU) admitAnon(req Request, done DoneFunc) {
 	rec, fromBuf, ok := freeq.Pop()
 	if !ok {
 		s.stats.NoFreePage++
-		s.eng.Post(s.timing.Notify, func() { done(ResultNoFreePage, 0) })
+		s.notifySchedule(done, ResultNoFreePage, 0)
 		return
 	}
 	fetchCost := s.timing.FreePageHit

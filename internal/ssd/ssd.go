@@ -143,6 +143,8 @@ func New(eng *sim.Engine, prof Profile, rng *sim.Rand, dma DMAFunc) *Device {
 }
 
 // getFlight takes a pooled flight record.
+//
+//hwdp:pool acquire flight
 func (d *Device) getFlight() *flight {
 	if n := len(d.pool); n > 0 {
 		fl := d.pool[n-1]
@@ -154,6 +156,8 @@ func (d *Device) getFlight() *flight {
 }
 
 // putFlight clears a flight and returns it to the pool.
+//
+//hwdp:pool release flight
 func (d *Device) putFlight(fl *flight) {
 	*fl = flight{}
 	d.pool = append(d.pool, fl)
@@ -212,6 +216,7 @@ func (d *Device) service(at *attachment, cmd nvme.Command) {
 	if status != nvme.StatusSuccess {
 		// Errors complete quickly without touching media.
 		cmd.Trace.Mark(trace.LayerSSD, "rejected", now)
+		//hwdp:ignore eventcapture command rejections only happen under fault injection, off the steady-state path
 		d.eng.Post(sim.Nano(500), func() { d.complete(at, cmd, status) })
 		return
 	}

@@ -82,7 +82,7 @@ func RunMixed(sys *core.System, assignments []Assignment, opt RunOptions) []Resu
 	}
 	results := make([]Result, len(assignments))
 	running := len(assignments)
-	deadline := sim.Time(-1)
+	deadline := sim.Never
 	if opt.Duration > 0 {
 		deadline = sys.Eng.Now() + opt.Duration
 	}
@@ -95,7 +95,7 @@ func RunMixed(sys *core.System, assignments []Assignment, opt RunOptions) []Resu
 		measured := 0
 		var loop func()
 		loop = func() {
-			if deadline >= 0 && sys.Eng.Now() >= deadline {
+			if deadline != sim.Never && sys.Eng.Now() >= deadline {
 				results[i].Elapsed = sys.Eng.Now() - start
 				running--
 				return

@@ -17,7 +17,7 @@ const FIOOpInstr = 8000
 // reads around the I/O, serializing instructions, and the 4 KiB
 // bandwidth-bound memcpy. Together with FIOOpInstr this calibrates the
 // single-thread Fig. 12 latencies.
-const FIOOpFixed = sim.Time(3200 * sim.Nanosecond)
+const FIOOpFixed = 3200 * sim.Nanosecond
 
 // FIO models `fio --ioengine=mmap --rw=randread --bs=4k` over one mapped
 // file: each op picks a uniformly random page and touches it, taking a

@@ -148,7 +148,7 @@ func (kv *KV) nextKey(r *sim.Rand) uint64 {
 // syscalls unrelated to demand paging (timekeeping, occasional allocator
 // brk/madvise, scheduler ticks amortized per op). It is identical under
 // every scheme and anchors the Fig. 15 kernel-instruction comparison.
-const KVSyscallPerOp = sim.Time(800 * sim.Nanosecond)
+const KVSyscallPerOp = 800 * sim.Nanosecond
 
 // Op implements Workload: client-side compute plus baseline syscall work,
 // then the storage operation through the mmap path, with read validation

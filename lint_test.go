@@ -1,0 +1,46 @@
+package hwdp_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hwdp/internal/analysis"
+	"hwdp/internal/analysis/loader"
+	"hwdp/internal/analysis/suite"
+)
+
+// TestLintClean is the tier-1 regression gate for the hwdplint analyzers:
+// the whole module must type-check and produce zero unsuppressed
+// diagnostics. A new wall-clock read, unpaired pool acquire, unit-less
+// sim.Time constant, or hot-path capturing closure fails this test — the
+// same findings `make lint` reports, without needing the vettool binary.
+func TestLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lint pass recompiles the module for export data; skipped in -short mode")
+	}
+	units, err := loader.Load(".", "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(units) == 0 {
+		t.Fatal("loader returned no packages for ./...")
+	}
+	var failures []string
+	for _, u := range units {
+		diags, err := analysis.Run(u, suite.Analyzers)
+		if err != nil {
+			t.Fatalf("analyzing %s: %v", u.Pkg.Path(), err)
+		}
+		for _, d := range diags {
+			failures = append(failures,
+				fmt.Sprintf("%s: %s [%s]", u.Fset.Position(d.Pos), d.Message, d.Analyzer))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			t.Error(f)
+		}
+		t.Fatalf("%d unsuppressed lint diagnostics (fix the code or add a "+
+			"justified //hwdp:ignore; see docs/ANALYSIS.md)", len(failures))
+	}
+}
