@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-short bench-go docs-check fmt lint check
+.PHONY: all build test race bench bench-short bench-go sweep-check docs-check fmt lint check
 
 all: build test
 
@@ -28,6 +28,14 @@ bench-short:
 
 bench-go:
 	$(GO) test -short -bench=. -benchtime=1x ./...
+
+# sweep-check regenerates every quick-mode figure/table through the
+# parallel sweep scheduler with the race detector on — the end-to-end
+# proof that concurrent units share no state. The cache is bypassed so
+# every unit actually simulates; SWEEP_hwdp.json records per-unit
+# status/duration and is uploaded as a CI artifact. See docs/SWEEP.md.
+sweep-check:
+	$(GO) run -race ./cmd/hwdpbench -all -quick -no-cache
 
 fmt:
 	gofmt -w .

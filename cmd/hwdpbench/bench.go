@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
+
+	"hwdp/internal/sweep"
 
 	"hwdp/internal/core"
 	"hwdp/internal/kernel"
@@ -71,9 +74,24 @@ var baselines = map[string]benchBaseline{
 	"engine_schedule_fire_handle": {NsPerOp: 263.7, AllocsPerOp: 1, BytesPerOp: 48},
 }
 
-// runBench executes the benchmark suite and writes the JSON report to
-// outPath. Short mode shrinks the macro sweep so CI finishes in seconds.
-func runBench(short bool, outPath string) {
+// benchUnit wraps the benchmark suite as a sweep unit. It is uncacheable
+// by design: ns/op measures the host, not just the code and config, so a
+// cached report would be a stale measurement.
+func benchUnit(short bool, outPath string) sweep.Unit {
+	return sweep.Unit{
+		Name:        "bench",
+		Kind:        "bench",
+		Fingerprint: fmt.Sprintf("short=%v out=%s", short, outPath),
+		Uncacheable: true,
+		Run:         func() (string, error) { return runBench(short, outPath) },
+	}
+}
+
+// runBench executes the benchmark suite, writes the JSON report to
+// outPath and returns the human-readable summary. Short mode shrinks the
+// macro sweep so CI finishes in seconds.
+func runBench(short bool, outPath string) (string, error) {
+	var sb strings.Builder
 	rep := benchReport{
 		Schema:    1,
 		GoVersion: runtime.Version(),
@@ -91,13 +109,13 @@ func runBench(short bool, outPath string) {
 			BytesPerOp:      r.AllocedBytesPerOp(),
 			SimEventsPerSec: eventsPerSec,
 		})
-		fmt.Printf("%-28s %12d iters %10.1f ns/op %6d B/op %4d allocs/op",
+		fmt.Fprintf(&sb, "%-28s %12d iters %10.1f ns/op %6d B/op %4d allocs/op",
 			name, r.N, float64(r.T.Nanoseconds())/float64(r.N),
 			r.AllocedBytesPerOp(), r.AllocsPerOp())
 		if eventsPerSec > 0 {
-			fmt.Printf("  %11.0f sim-events/s", eventsPerSec)
+			fmt.Fprintf(&sb, "  %11.0f sim-events/s", eventsPerSec)
 		}
-		fmt.Println()
+		sb.WriteString("\n")
 	}
 
 	add("engine_schedule_fire_post", benchEnginePost(), 0)
@@ -114,19 +132,20 @@ func runBench(short bool, outPath string) {
 		base := baselines["miss_path"]
 		rep.MissPathAllocsReductionPct =
 			(1 - float64(b.AllocsPerOp)/float64(base.AllocsPerOp)) * 100
-		fmt.Printf("miss_path allocs/op: %d -> %d (%.0f%% reduction vs baseline)\n",
+		fmt.Fprintf(&sb, "miss_path allocs/op: %d -> %d (%.0f%% reduction vs baseline)\n",
 			base.AllocsPerOp, b.AllocsPerOp, rep.MissPathAllocsReductionPct)
 	}
 
 	out, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
-		fatal(err)
+		return "", err
 	}
 	out = append(out, '\n')
 	if err := os.WriteFile(outPath, out, 0o644); err != nil {
-		fatal(err)
+		return "", err
 	}
-	fmt.Printf("wrote %s\n", outPath)
+	fmt.Fprintf(&sb, "wrote %s\n", outPath)
+	return sb.String(), nil
 }
 
 // benchEnginePost measures the pooled fire-and-forget schedule/fire path

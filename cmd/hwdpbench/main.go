@@ -1,24 +1,40 @@
 // Command hwdpbench regenerates the paper's tables and figures on the
-// simulated machine.
+// simulated machine. Runs are decomposed into named units and executed by
+// the internal/sweep scheduler: a bounded worker pool (figure text stays
+// byte-identical to a sequential run at any -j), a content-addressed
+// result cache, per-run panic/timeout isolation, and a machine-readable
+// manifest (SWEEP_hwdp.json) for CI.
 //
 // Usage:
 //
-//	hwdpbench -fig 1|2|3|4|11|12|13|14|15|16|17|kpoold
+//	hwdpbench -fig 1|2|3|4|11|12|13|14|15|16|17|kpoold|pmshr|devices|prefetch
 //	hwdpbench -table 1|2|area
 //	hwdpbench -all
 //	hwdpbench -quick            # reduced op counts
+//	hwdpbench -seed 7           # simulation seed for every unit (default 1)
 //	hwdpbench -threads 1,4      # restrict Fig. 13's thread sweep
+//	hwdpbench -j 8              # parallel run units (default GOMAXPROCS)
+//	hwdpbench -no-cache         # re-simulate even when a cached result exists
+//	hwdpbench -cache-dir DIR    # result cache location (default .hwdpcache)
+//	hwdpbench -run-timeout 15m  # per-unit wall-clock budget (0 disables)
+//	hwdpbench -sweep-out f.json # sweep manifest path (default SWEEP_hwdp.json)
 //	hwdpbench -breakdown        # per-layer miss-latency attribution, all schemes
 //	hwdpbench -trace out.json   # Chrome trace of the same sweep (Perfetto)
 //	hwdpbench -bench            # fixed-seed benchmark suite -> BENCH_hwdp.json
 //	hwdpbench -bench -quick     # short variant (CI smoke)
 //	hwdpbench -bench-out f.json # report path (default BENCH_hwdp.json)
+//
+// Unit results (figure/table text) stream to stdout in deterministic
+// order; progress, ETA and failure records go to stderr. A unit that
+// panics or times out is recorded in the manifest and reported, the
+// remaining units complete, and the exit status is 1.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -26,6 +42,7 @@ import (
 	"hwdp/internal/core"
 	"hwdp/internal/figures"
 	"hwdp/internal/kernel"
+	"hwdp/internal/sweep"
 	"hwdp/internal/trace"
 	"hwdp/internal/workload"
 )
@@ -35,7 +52,13 @@ func main() {
 	table := flag.String("table", "", "table to regenerate (1,2,area)")
 	all := flag.Bool("all", false, "regenerate everything")
 	quick := flag.Bool("quick", false, "use reduced op counts")
+	seed := flag.Uint64("seed", 1, "simulation seed threaded through every experiment")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts for -fig 13")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max run units executing in parallel")
+	noCache := flag.Bool("no-cache", false, "ignore and don't write the result cache")
+	cacheDir := flag.String("cache-dir", ".hwdpcache", "result cache directory")
+	runTimeout := flag.Duration("run-timeout", 15*time.Minute, "per-unit wall-clock budget (0 disables)")
+	sweepOut := flag.String("sweep-out", "SWEEP_hwdp.json", "sweep manifest path")
 	breakdown := flag.Bool("breakdown", false, "run a traced FIO sweep over all three schemes and print per-layer latency attribution")
 	tracePath := flag.String("trace", "", "write the traced sweep as Chrome trace_event JSON to this file")
 	bench := flag.Bool("bench", false, "run the fixed-seed benchmark suite and write a JSON report")
@@ -46,6 +69,7 @@ func main() {
 	if *quick {
 		p = figures.Quick()
 	}
+	p.Seed = *seed
 	var threads []int
 	if *threadsFlag != "" {
 		for _, s := range strings.Split(*threadsFlag, ",") {
@@ -57,88 +81,96 @@ func main() {
 		}
 	}
 
-	targets := map[string]func() (fmt.Stringer, error){
-		"1":  func() (fmt.Stringer, error) { return figures.Fig1(p) },
-		"2":  func() (fmt.Stringer, error) { return figures.Fig2(), nil },
-		"3":  func() (fmt.Stringer, error) { return figures.Fig3(p) },
-		"4":  func() (fmt.Stringer, error) { return figures.Fig4(p) },
-		"11": func() (fmt.Stringer, error) { return figures.Fig11(p) },
-		"12": func() (fmt.Stringer, error) { return figures.Fig12(p) },
-		"13": func() (fmt.Stringer, error) { return figures.Fig13(p, threads) },
-		"14": func() (fmt.Stringer, error) { return figures.Fig14(p) },
-		"15": func() (fmt.Stringer, error) { return figures.Fig15(p) },
-		"16": func() (fmt.Stringer, error) { return figures.Fig16(p) },
-		"17": func() (fmt.Stringer, error) { return figures.Fig17(p) },
-		"kpoold": func() (fmt.Stringer, error) {
-			return figures.KpooldAblation(p)
-		},
-		"pmshr": func() (fmt.Stringer, error) {
-			return figures.AblationPMSHR(p)
-		},
-		"devices": func() (fmt.Stringer, error) {
-			return figures.AblationDeviceSweep(p)
-		},
-		"prefetch": func() (fmt.Stringer, error) {
-			return figures.AblationPrefetch(p)
-		},
-	}
-	tableTargets := map[string]func() string{
-		"1":    figures.TableI,
-		"2":    func() string { return figures.TableII(p) },
-		"area": figures.AreaTable,
-	}
-
-	order := []string{"1", "2", "3", "4", "11", "12", "13", "14", "15", "16", "17", "kpoold", "pmshr", "devices", "prefetch"}
-
 	ran := false
-	runFig := func(id string) {
-		fn, ok := targets[id]
-		if !ok {
-			fatal(fmt.Errorf("unknown figure %q", id))
-		}
-		start := time.Now()
-		r, err := fn()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(r.String())
-		fmt.Printf("  [regenerated in %v]\n\n", time.Since(start).Round(time.Millisecond))
-		ran = true
-	}
-	runTable := func(id string) {
-		fn, ok := tableTargets[id]
-		if !ok {
-			fatal(fmt.Errorf("unknown table %q", id))
-		}
-		fmt.Println(fn())
-		ran = true
-	}
-
 	if *breakdown || *tracePath != "" {
 		traceSweep(*quick, *breakdown, *tracePath)
 		ran = true
 	}
-	if *bench {
-		runBench(*quick, *benchOut)
-		ran = true
-	}
 
+	units := figures.Units(p, threads)
+	byName := make(map[string]sweep.Unit, len(units))
+	for _, u := range units {
+		byName[u.Name] = u
+	}
+	var sel []sweep.Unit
+	if *bench {
+		sel = append(sel, benchUnit(*quick, *benchOut))
+	}
 	switch {
 	case *all:
-		for _, id := range []string{"1", "2", "area"} {
-			runTable(id)
-		}
-		for _, id := range order {
-			runFig(id)
-		}
+		sel = append(sel, units...)
 	case *fig != "":
-		runFig(*fig)
+		// Sharded figures (Fig. 13) expand to every fig/<name>/* unit so
+		// -fig 13 still regenerates the whole table.
+		found := false
+		for _, u := range units {
+			if u.Name == "fig/"+*fig || strings.HasPrefix(u.Name, "fig/"+*fig+"/") {
+				sel = append(sel, u)
+				found = true
+			}
+		}
+		if !found {
+			fatal(fmt.Errorf("unknown figure %q", *fig))
+		}
 	case *table != "":
-		runTable(*table)
+		u, ok := byName["table/"+*table]
+		if !ok {
+			fatal(fmt.Errorf("unknown table %q", *table))
+		}
+		sel = append(sel, u)
+	}
+	if len(sel) > 0 {
+		runSweep(sel, *jobs, *noCache, *cacheDir, *runTimeout, *sweepOut)
+		ran = true
 	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// runSweep executes the selected units on the scheduler, writes the
+// manifest, reports failures to stderr and exits non-zero if any unit
+// did not complete.
+func runSweep(sel []sweep.Unit, jobs int, noCache bool, cacheDir string, runTimeout time.Duration, sweepOut string) {
+	var cache *sweep.Cache
+	if !noCache {
+		c, err := sweep.Open(cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hwdpbench: result cache disabled:", err)
+		} else {
+			cache = c
+		}
+	}
+	start := time.Now()
+	results := sweep.Run(sel, sweep.Options{
+		Workers:     jobs,
+		Cache:       cache,
+		UnitTimeout: runTimeout,
+		Progress:    os.Stderr,
+		Out:         os.Stdout,
+	})
+	wall := time.Since(start)
+	m := sweep.NewManifest(results, jobs, wall)
+	if err := m.Write(sweepOut); err != nil {
+		fatal(err)
+	}
+	for _, r := range results {
+		if r.Status == sweep.StatusOK {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "hwdpbench: %s %s: %s\n", r.Name, r.Status, r.Err)
+		if r.Stack != "" {
+			fmt.Fprintln(os.Stderr, r.Stack)
+		}
+	}
+	fmt.Fprintf(os.Stderr,
+		"sweep: %d/%d units ok (%d cached) in %v (aggregate %v, speedup %.2fx); manifest %s\n",
+		m.OK, m.Units, m.CacheHits, wall.Round(10*time.Millisecond),
+		time.Duration(m.AggregateMS*1e6).Round(10*time.Millisecond),
+		m.ParallelSpeedup, sweepOut)
+	if m.Failed > 0 {
+		os.Exit(1)
 	}
 }
 

@@ -28,12 +28,34 @@ type Fig13Result struct {
 // Fig13Workloads is the workload set of Figure 13.
 var Fig13Workloads = []string{"FIO", "DBBench", "YCSB-A", "YCSB-B", "YCSB-C", "YCSB-D", "YCSB-E", "YCSB-F"}
 
+// fig13Threads resolves the -threads restriction: nil means the paper's
+// full 1..8 sweep.
+func fig13Threads(threads []int) []int {
+	if len(threads) == 0 {
+		return []int{1, 2, 4, 8}
+	}
+	return threads
+}
+
 // Fig13 sweeps workloads × thread counts × schemes and reports HWDP's
 // throughput gain over OSDP.
 func Fig13(p Params, threads []int) (*Fig13Result, error) {
-	if len(threads) == 0 {
-		threads = []int{1, 2, 4, 8}
+	res := &Fig13Result{}
+	for _, name := range Fig13Workloads {
+		cells, err := fig13Workload(p, name, fig13Threads(threads))
+		if err != nil {
+			return nil, err
+		}
+		res.Cells = append(res.Cells, cells...)
 	}
+	return res, nil
+}
+
+// fig13Workload runs one workload's thread sweep under both schemes.
+// Each cell builds its own System from p, so shards share no state: the
+// sweep scheduler runs one unit per workload in parallel and concatenates
+// the row blocks back into the exact sequential table.
+func fig13Workload(p Params, name string, threads []int) ([]Fig13Cell, error) {
 	run := func(name string, scheme kernel.Scheme, n int) (float64, error) {
 		sys := p.newSystem(scheme, ssd.ZSSD)
 		opt := workload.RunOptions{OpsPerThread: p.OpsPerThread, WarmupOps: p.WarmupOps}
@@ -72,23 +94,21 @@ func Fig13(p Params, threads []int) (*Fig13Result, error) {
 		}
 		return m.Throughput(), nil
 	}
-	res := &Fig13Result{}
-	for _, name := range Fig13Workloads {
-		for _, n := range threads {
-			o, err := run(name, kernel.OSDP, n)
-			if err != nil {
-				return nil, err
-			}
-			h, err := run(name, kernel.HWDP, n)
-			if err != nil {
-				return nil, err
-			}
-			res.Cells = append(res.Cells, Fig13Cell{
-				Workload: name, Threads: n, OSDP: o, HWDP: h, Gain: h/o - 1,
-			})
+	var cells []Fig13Cell
+	for _, n := range threads {
+		o, err := run(name, kernel.OSDP, n)
+		if err != nil {
+			return nil, err
 		}
+		h, err := run(name, kernel.HWDP, n)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, Fig13Cell{
+			Workload: name, Threads: n, OSDP: o, HWDP: h, Gain: h/o - 1,
+		})
 	}
-	return res, nil
+	return cells, nil
 }
 
 // Gain returns the gain for one (workload, threads) cell, or -1.
@@ -101,17 +121,28 @@ func (r *Fig13Result) Gain(name string, threads int) float64 {
 	return -1
 }
 
-// String renders the Fig13Result as the paper-style text table.
-func (r *Fig13Result) String() string {
+// The table is rendered in three pieces so the sweep shards (one unit per
+// workload) can emit their row blocks independently and still concatenate
+// to the byte-identical sequential table.
+const (
+	fig13Header = "Figure 13: HWDP throughput improvement over OSDP (Z-SSD, 2:1 dataset:memory)\n" +
+		"  workload   threads   OSDP(op/s)    HWDP(op/s)    gain\n"
+	fig13Footer = "  (paper: FIO/DBBench +29.4%..+57.1%, YCSB +5.3%..+27.3%)\n"
+)
+
+// fig13Rows renders a block of cells as table rows.
+func fig13Rows(cells []Fig13Cell) string {
 	var b strings.Builder
-	b.WriteString("Figure 13: HWDP throughput improvement over OSDP (Z-SSD, 2:1 dataset:memory)\n")
-	b.WriteString("  workload   threads   OSDP(op/s)    HWDP(op/s)    gain\n")
-	for _, c := range r.Cells {
+	for _, c := range cells {
 		fmt.Fprintf(&b, "  %-9s  %7d   %11.0f   %11.0f   %+5.1f%%\n",
 			c.Workload, c.Threads, c.OSDP, c.HWDP, 100*c.Gain)
 	}
-	b.WriteString("  (paper: FIO/DBBench +29.4%..+57.1%, YCSB +5.3%..+27.3%)\n")
 	return b.String()
+}
+
+// String renders the Fig13Result as the paper-style text table.
+func (r *Fig13Result) String() string {
+	return fig13Header + fig13Rows(r.Cells) + fig13Footer
 }
 
 // Fig14Result is the YCSB-C 4-thread architectural comparison.

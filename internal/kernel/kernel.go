@@ -270,6 +270,11 @@ type Kernel struct {
 	byASID   map[uint32]*Process
 	nextASID uint32
 
+	// anonCount names anonymous backings uniquely. It is per-Kernel, not
+	// package-level: independent Systems must stay isolated so sweeps can
+	// run them concurrently without shared state.
+	anonCount int
+
 	pageCache map[pcKey]*Page
 	lru       *list.List
 

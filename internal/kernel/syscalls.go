@@ -104,9 +104,6 @@ func (k *Kernel) populate(p *Process, vma *VMA) error {
 	return nil
 }
 
-// anonCount names anonymous backings uniquely.
-var anonCount int
-
 // MmapAnon maps `pages` of anonymous memory (heap/stack-style). Under
 // HWDP/SW-only with fast=true, every PTE is LBA-augmented with the
 // reserved first-touch constant so the SMU zero-fills misses without I/O;
@@ -118,8 +115,8 @@ func (k *Kernel) MmapAnon(p *Process, sid, devID uint8, pages int,
 	if !ok {
 		return 0, fmt.Errorf("kernel: no storage at sid%d/dev%d", sid, devID)
 	}
-	anonCount++
-	backing, err := st.fsys.Create(fmt.Sprintf("[anon-%d]", anonCount), pages, nil)
+	k.anonCount++
+	backing, err := st.fsys.Create(fmt.Sprintf("[anon-%d]", k.anonCount), pages, nil)
 	if err != nil {
 		return 0, err
 	}
