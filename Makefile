@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-short bench-go sweep-check docs-check fmt lint check
+.PHONY: all build test race bench bench-short bench-go sweep-check chaos-short docs-check fmt lint check
 
 all: build test
 
@@ -36,6 +36,15 @@ bench-go:
 # status/duration and is uploaded as a CI artifact. See docs/SWEEP.md.
 sweep-check:
 	$(GO) run -race ./cmd/hwdpbench -all -quick -no-cache
+
+# chaos-short runs the bounded chaos-pressure campaign under the race
+# detector: oversubscription scenarios with fault storms, audited by the
+# invariant watchdog; every scenario must finish with zero violations
+# and zero leaked frames. CAMPAIGN_hwdp.json records the per-scenario
+# degradation report and is uploaded as a CI artifact. See
+# docs/PRESSURE.md.
+chaos-short:
+	$(GO) run -race ./cmd/hwdpbench -pressure -quick -no-cache -sweep-out CAMPAIGN_sweep.json
 
 fmt:
 	gofmt -w .

@@ -23,6 +23,9 @@
 //	hwdpbench -bench            # fixed-seed benchmark suite -> BENCH_hwdp.json
 //	hwdpbench -bench -quick     # short variant (CI smoke)
 //	hwdpbench -bench-out f.json # report path (default BENCH_hwdp.json)
+//	hwdpbench -pressure         # chaos-pressure campaign -> CAMPAIGN_hwdp.json
+//	hwdpbench -pressure -quick  # bounded variant (CI smoke)
+//	hwdpbench -campaign-out f   # campaign manifest path (default CAMPAIGN_hwdp.json)
 //
 // Unit results (figure/table text) stream to stdout in deterministic
 // order; progress, ETA and failure records go to stderr. A unit that
@@ -39,6 +42,7 @@ import (
 	"strings"
 	"time"
 
+	"hwdp/internal/campaign"
 	"hwdp/internal/core"
 	"hwdp/internal/figures"
 	"hwdp/internal/kernel"
@@ -63,6 +67,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write the traced sweep as Chrome trace_event JSON to this file")
 	bench := flag.Bool("bench", false, "run the fixed-seed benchmark suite and write a JSON report")
 	benchOut := flag.String("bench-out", "BENCH_hwdp.json", "benchmark report path for -bench")
+	pressure := flag.Bool("pressure", false, "run the chaos-pressure campaign (oversubscription under fault storms) and write a JSON manifest")
+	campaignOut := flag.String("campaign-out", "CAMPAIGN_hwdp.json", "campaign manifest path for -pressure")
 	flag.Parse()
 
 	p := figures.Default()
@@ -96,6 +102,13 @@ func main() {
 	if *bench {
 		sel = append(sel, benchUnit(*quick, *benchOut))
 	}
+	var campaignResults []campaign.Result
+	if *pressure {
+		scs := campaign.DefaultScenarios(*quick)
+		cunits, cres := campaign.Units(scs)
+		sel = append(sel, cunits...)
+		campaignResults = cres
+	}
 	switch {
 	case *all:
 		sel = append(sel, units...)
@@ -119,9 +132,25 @@ func main() {
 		}
 		sel = append(sel, u)
 	}
+	failed := 0
 	if len(sel) > 0 {
-		runSweep(sel, *jobs, *noCache, *cacheDir, *runTimeout, *sweepOut)
+		failed = runSweep(sel, *jobs, *noCache, *cacheDir, *runTimeout, *sweepOut)
 		ran = true
+	}
+	if *pressure {
+		// The campaign manifest and the degradation figure are written even
+		// when scenarios failed their audit — a dirty manifest is exactly
+		// the artifact CI needs to diagnose the failure.
+		m := campaign.NewManifest(campaignResults)
+		if err := m.Write(*campaignOut); err != nil {
+			fatal(err)
+		}
+		fmt.Println(campaign.RenderComparison(campaignResults))
+		fmt.Fprintf(os.Stderr, "campaign: %d/%d scenarios clean (%d violations); manifest %s\n",
+			m.Clean, m.Scenarios, m.Violations, *campaignOut)
+	}
+	if failed > 0 {
+		os.Exit(1)
 	}
 	if !ran {
 		flag.Usage()
@@ -130,9 +159,10 @@ func main() {
 }
 
 // runSweep executes the selected units on the scheduler, writes the
-// manifest, reports failures to stderr and exits non-zero if any unit
-// did not complete.
-func runSweep(sel []sweep.Unit, jobs int, noCache bool, cacheDir string, runTimeout time.Duration, sweepOut string) {
+// manifest, reports failures to stderr and returns the number of units
+// that did not complete (the caller decides the exit status, after any
+// post-sweep artifacts are written).
+func runSweep(sel []sweep.Unit, jobs int, noCache bool, cacheDir string, runTimeout time.Duration, sweepOut string) int {
 	var cache *sweep.Cache
 	if !noCache {
 		c, err := sweep.Open(cacheDir)
@@ -169,9 +199,7 @@ func runSweep(sel []sweep.Unit, jobs int, noCache bool, cacheDir string, runTime
 		m.OK, m.Units, m.CacheHits, wall.Round(10*time.Millisecond),
 		time.Duration(m.AggregateMS*1e6).Round(10*time.Millisecond),
 		m.ParallelSpeedup, sweepOut)
-	if m.Failed > 0 {
-		os.Exit(1)
-	}
+	return m.Failed
 }
 
 // traceSweep runs the same cold FIO workload under all three paging

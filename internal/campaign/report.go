@@ -1,0 +1,172 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"hwdp/internal/sweep"
+)
+
+// ManifestSchema versions the CAMPAIGN_hwdp.json layout.
+const ManifestSchema = 1
+
+// Manifest is the machine-readable record of one campaign, written as
+// CAMPAIGN_hwdp.json for CI artifacts. Scenario results appear in
+// scenario-list order, so the manifest is deterministic for a fixed
+// scenario set (host fields aside).
+type Manifest struct {
+	Schema    int    `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Scenarios/Clean/Violations summarize the campaign: a scenario is
+	// clean when its watchdog recorded nothing and no frames leaked.
+	Scenarios  int `json:"scenarios"`
+	Clean      int `json:"clean"`
+	Violations int `json:"violations"`
+	// Results is one report per scenario, in scenario order.
+	Results []Result `json:"results"`
+}
+
+// NewManifest summarizes campaign results.
+func NewManifest(results []Result) Manifest {
+	m := Manifest{
+		Schema:    ManifestSchema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Scenarios: len(results),
+		Results:   results,
+	}
+	for _, r := range results {
+		m.Violations += len(r.WatchdogViolations)
+		if len(r.WatchdogViolations) == 0 && r.LeakedFrames == 0 {
+			m.Clean++
+		}
+	}
+	return m
+}
+
+// Write marshals the manifest to path as indented JSON.
+func (m Manifest) Write(path string) error {
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(path, out, 0o644)
+}
+
+// Units wraps the scenarios as uncacheable sweep units (a campaign runs
+// under chaos by design; its results must always be regenerated). Each
+// unit's Run stores its Result into the returned slice at the scenario's
+// index and renders the per-scenario report text.
+func Units(scenarios []Scenario) ([]sweep.Unit, []Result) {
+	results := make([]Result, len(scenarios))
+	units := make([]sweep.Unit, len(scenarios))
+	for i, sc := range scenarios {
+		i, sc := i, sc
+		units[i] = sweep.Unit{
+			Name:        "campaign/" + sc.Name,
+			Kind:        "campaign",
+			Fingerprint: sc.Fingerprint(),
+			Uncacheable: true,
+			Run: func() (string, error) {
+				r := Run(sc)
+				results[i] = r
+				if len(r.WatchdogViolations) > 0 {
+					return "", fmt.Errorf("campaign %s: %d watchdog violations, first: %s",
+						sc.Name, len(r.WatchdogViolations), r.WatchdogViolations[0])
+				}
+				if r.LeakedFrames != 0 {
+					return "", fmt.Errorf("campaign %s: %d frames leaked", sc.Name, r.LeakedFrames)
+				}
+				return RenderResult(r), nil
+			},
+		}
+	}
+	return units, results
+}
+
+// RenderResult renders one scenario's degradation report.
+func RenderResult(r Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== campaign %s (%s, %.1fx memory) ==\n", r.Name, r.Scheme, r.OversubRatio)
+	fmt.Fprintf(&b, "  ops %d (errors %d)  throughput %.0f ops/s\n", r.Ops, r.Errors, r.Throughput)
+	fmt.Fprintf(&b, "  latency us: p50 %.2f  p99 %.2f  p99.9 %.2f\n", r.P50US, r.P99US, r.P999US)
+	fmt.Fprintf(&b, "  fallback rate %.4f  evictions %d  writebacks %d  backlog waits %d\n",
+		r.FallbackRate, r.Evictions, r.Writebacks, r.BacklogWaits)
+	fmt.Fprintf(&b, "  pressure: alloc stalls %d  throttled writes %d  flusher %d/%d  sq-full %d\n",
+		r.AllocStalls, r.ThrottledWrites, r.FlusherRuns, r.FlusherPages, r.SQFullWaits)
+	fmt.Fprintf(&b, "  oom: kills %d  reaped pages %d\n", r.OOMKills, r.OOMReapedPages)
+	for _, row := range r.PSI {
+		if row.Stalls == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  psi %-18s stalls %6d  task %10.2fus  some %10.2fus\n",
+			row.Kind, row.Stalls, row.TaskTimeUS, row.SomeTimeUS)
+	}
+	fmt.Fprintf(&b, "  audit: watchdog ticks %d  violations %d  leaked frames %d\n",
+		r.WatchdogRuns, len(r.WatchdogViolations), r.LeakedFrames)
+	return b.String()
+}
+
+// RenderComparison renders the beyond-paper degradation figure: tail
+// latency (p99.9) and OS-fallback rate for hardware vs OS demand paging
+// as oversubscription grows, from the campaign's ladder scenarios.
+func RenderComparison(results []Result) string {
+	type cell struct {
+		p999     float64
+		fallback float64
+		oomKills uint64
+		ok       bool
+	}
+	byKey := map[string]cell{}
+	var ratios []float64
+	var schemes []string
+	seenRatio := map[float64]bool{}
+	seenScheme := map[string]bool{}
+	for _, r := range results {
+		if r.Kind != "ladder" {
+			continue
+		}
+		byKey[fmt.Sprintf("%s|%.3f", r.Scheme, r.OversubRatio)] = cell{
+			p999: r.P999US, fallback: r.FallbackRate, oomKills: r.OOMKills, ok: true,
+		}
+		if !seenRatio[r.OversubRatio] {
+			seenRatio[r.OversubRatio] = true
+			ratios = append(ratios, r.OversubRatio)
+		}
+		if !seenScheme[r.Scheme] {
+			seenScheme[r.Scheme] = true
+			schemes = append(schemes, r.Scheme)
+		}
+	}
+	var b strings.Builder
+	b.WriteString("== Graceful degradation under oversubscription (fault storm) ==\n")
+	b.WriteString("   p99.9 access latency (us) and OS-fallback rate by memory ratio\n\n")
+	fmt.Fprintf(&b, "   %-8s", "ratio")
+	for _, s := range schemes {
+		fmt.Fprintf(&b, " %14s %14s", s+" p99.9", s+" fallback")
+	}
+	b.WriteString("\n")
+	for _, ratio := range ratios {
+		fmt.Fprintf(&b, "   %-8.1f", ratio)
+		for _, s := range schemes {
+			c := byKey[fmt.Sprintf("%s|%.3f", s, ratio)]
+			if !c.ok {
+				fmt.Fprintf(&b, " %14s %14s", "-", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %14.2f %14.4f", c.p999, c.fallback)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("\n   (fallback rate: fraction of hardware misses bounced to the OS\n")
+	b.WriteString("    fault handler; OSDP takes every miss in software, so its rate\n")
+	b.WriteString("    is 0 by construction. Latency-exact comparison: see fig/12.)\n")
+	return b.String()
+}

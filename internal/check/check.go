@@ -50,35 +50,51 @@ func checkFrames(r *report, s *core.System) {
 	if s.Mem.FreeFrames() > s.Mem.Frames() {
 		r.addf("frame-accounting", "free %d > total %d", s.Mem.FreeFrames(), s.Mem.Frames())
 	}
+	// Allocator conservation: outstanding allocations (allocs − frees)
+	// plus the free list must cover physical memory exactly. A shortfall
+	// means the allocator double-handed a frame; an excess means one was
+	// freed twice or invented.
+	outstanding := s.Mem.Allocs() - s.Mem.Frees()
+	if s.Mem.FreeFrames()+outstanding != s.Mem.Frames() {
+		r.addf("frame-conservation", "free %d + outstanding %d != total %d",
+			s.Mem.FreeFrames(), outstanding, s.Mem.Frames())
+	}
 }
 
 func checkPageTables(r *report, s *core.System) {
 	type owner struct {
 		va pagetable.VAddr
 	}
-	frameOwners := make(map[mem.FrameID]owner)
-	s.Proc.AS.Table.ScanAll(func(va pagetable.VAddr, pte pagetable.EntryRef) {
-		e := pte.Get()
-		switch e.State() {
-		case pagetable.StateResident, pagetable.StateResidentUnsynced:
-			f := e.PFN()
-			if !s.Mem.Allocated(f) {
-				r.addf("pte-frame", "PTE at %#x names unallocated frame %d", uint64(va), f)
-				return
+	// Every process is audited; the aliasing map is per address space
+	// (sharing one frame across processes through the page cache is
+	// legal, two virtual pages of one process naming one frame is not).
+	for _, p := range s.K.Processes() {
+		p := p
+		frameOwners := make(map[mem.FrameID]owner)
+		p.AS.Table.ScanAll(func(va pagetable.VAddr, pte pagetable.EntryRef) {
+			e := pte.Get()
+			switch e.State() {
+			case pagetable.StateResident, pagetable.StateResidentUnsynced:
+				f := e.PFN()
+				if !s.Mem.Allocated(f) {
+					r.addf("pte-frame", "ASID %d: PTE at %#x names unallocated frame %d",
+						p.AS.ASID, uint64(va), f)
+					return
+				}
+				if prev, dup := frameOwners[f]; dup {
+					r.addf("no-aliasing", "ASID %d: frame %d mapped at %#x and %#x",
+						p.AS.ASID, f, uint64(prev.va), uint64(va))
+				}
+				frameOwners[f] = owner{va}
+			case pagetable.StateNotPresentLBA:
+				b := e.Block()
+				if b.LBA != pagetable.AnonFirstTouch && int(b.SID) >= len(s.SMUs) {
+					r.addf("sid-routing", "ASID %d: PTE at %#x names socket %d of %d",
+						p.AS.ASID, uint64(va), b.SID, len(s.SMUs))
+				}
 			}
-			if prev, dup := frameOwners[f]; dup {
-				r.addf("no-aliasing", "frame %d mapped at %#x and %#x",
-					f, uint64(prev.va), uint64(va))
-			}
-			frameOwners[f] = owner{va}
-		case pagetable.StateNotPresentLBA:
-			b := e.Block()
-			if b.LBA != pagetable.AnonFirstTouch && int(b.SID) >= len(s.SMUs) {
-				r.addf("sid-routing", "PTE at %#x names socket %d of %d",
-					uint64(va), b.SID, len(s.SMUs))
-			}
-		}
-	})
+		})
+	}
 }
 
 func checkSMU(r *report, s *core.System) {

@@ -1,0 +1,91 @@
+package check
+
+import (
+	"fmt"
+
+	"hwdp/internal/core"
+	"hwdp/internal/sim"
+)
+
+// maxWatchdogViolations bounds the recorded violation list: a broken
+// invariant re-detected every period would otherwise grow without bound
+// over a long campaign.
+const maxWatchdogViolations = 256
+
+// Watchdog is a periodically scheduled runtime auditor: every period it
+// re-validates the full System invariant set (frame conservation,
+// page-table discipline, SMU frame conservation) plus two liveness
+// properties only observable from inside a run — simulated time
+// monotonicity and the no-lost-wakeup property of the PMSHR backlog (a
+// backlogged SMU with zero outstanding misses can never drain, because
+// only miss completions pop the backlog).
+//
+// The watchdog reads state and appends to its own records; it never
+// mutates the machine, so same-seed runs with and without it produce
+// identical simulation results (its tick events interleave with the
+// run's events but carry no work that touches model state).
+type Watchdog struct {
+	sys        *core.System
+	period     sim.Time
+	runs       int
+	lastNow    sim.Time
+	violations []Violation
+	truncated  bool
+	stopped    bool
+}
+
+// NewWatchdog schedules a watchdog on the system's engine with the given
+// audit period. Stop it before tearing the system down.
+func NewWatchdog(sys *core.System, period sim.Time) *Watchdog {
+	if period <= 0 {
+		panic("check: watchdog period must be positive")
+	}
+	w := &Watchdog{sys: sys, period: period, lastNow: sys.Eng.Now()}
+	sys.Eng.Post(period, w.tick)
+	return w
+}
+
+func (w *Watchdog) tick() {
+	if w.stopped {
+		return
+	}
+	now := w.sys.Eng.Now()
+	if now < w.lastNow {
+		w.record(Violation{"monotonic-time",
+			fmt.Sprintf("engine ran backwards: %v after %v", now, w.lastNow)})
+	}
+	w.lastNow = now
+	w.runs++
+	for _, v := range System(w.sys) {
+		w.record(v)
+	}
+	for sid, u := range w.sys.SMUs {
+		if u.BacklogLen() > 0 && u.Outstanding() == 0 {
+			w.record(Violation{"lost-wakeup", fmt.Sprintf(
+				"socket %d: %d backlogged misses with no outstanding work to drain them",
+				sid, u.BacklogLen())})
+		}
+	}
+	w.sys.Eng.Post(w.period, w.tick)
+}
+
+func (w *Watchdog) record(v Violation) {
+	if len(w.violations) >= maxWatchdogViolations {
+		w.truncated = true
+		return
+	}
+	w.violations = append(w.violations, v)
+}
+
+// Runs returns how many audit ticks have executed.
+func (w *Watchdog) Runs() int { return w.runs }
+
+// Violations returns every recorded violation (capped; Truncated reports
+// whether the cap was hit).
+func (w *Watchdog) Violations() []Violation { return w.violations }
+
+// Truncated reports whether violations were dropped past the cap.
+func (w *Watchdog) Truncated() bool { return w.truncated }
+
+// Stop halts auditing; the pending tick becomes a no-op.
+func (w *Watchdog) Stop() { w.stopped = true }

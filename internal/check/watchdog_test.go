@@ -1,0 +1,102 @@
+package check
+
+import (
+	"testing"
+
+	"hwdp/internal/fs"
+	"hwdp/internal/mmu"
+	"hwdp/internal/pagetable"
+	"hwdp/internal/sim"
+)
+
+// A watchdog attached to a healthy oversubscribed run must tick
+// repeatedly and record nothing.
+func TestWatchdogCleanUnderPressure(t *testing.T) {
+	s := buildSystem(t) // 8 MiB of memory
+	// 16 MiB mapped: 2x oversubscription drives eviction and reclaim.
+	va, _, err := s.MapFile("big", 4096, fs.SeededInit(1), s.FastFlags())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWatchdog(s, 200*sim.Microsecond)
+	th := s.WorkloadThread(0)
+	rng := sim.NewRand(7)
+	done := 0
+	var step func()
+	step = func() {
+		if done >= 2000 {
+			return
+		}
+		done++
+		s.K.Access(th, va+pagetable.VAddr(rng.Intn(4096)*4096), rng.Intn(3) == 0,
+			func(mmu.Result) { step() })
+	}
+	step()
+	s.RunWhile(func() bool { return done < 2000 })
+	w.Stop()
+	if w.Runs() == 0 {
+		t.Fatal("watchdog never ticked")
+	}
+	if vs := w.Violations(); len(vs) != 0 {
+		t.Fatalf("watchdog violations on a healthy run: %v", vs)
+	}
+	if w.Truncated() {
+		t.Fatal("truncated without violations")
+	}
+}
+
+// A watchdog must observe injected corruption: freeing a mapped frame
+// behind the kernel's back leaves a present PTE naming an unallocated
+// frame, which the next audit tick reports.
+func TestWatchdogDetectsInjectedCorruption(t *testing.T) {
+	s := buildSystem(t)
+	va, _, err := s.MapFile("f", 16, fs.SeededInit(2), s.FastFlags())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fault one page in so a present PTE exists to corrupt.
+	th := s.WorkloadThread(0)
+	faulted := false
+	s.K.Access(th, va, false, func(mmu.Result) { faulted = true })
+	s.RunWhile(func() bool { return !faulted })
+
+	w := NewWatchdog(s, 100*sim.Microsecond)
+	_, _, pte, ok := s.Proc.AS.Table.Walk(va)
+	if !ok || !pte.Get().Present() {
+		t.Fatal("faulted page not present")
+	}
+	if err := s.Mem.Free(pte.Get().PFN()); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(1 * sim.Millisecond)
+	w.Stop()
+	if w.Runs() == 0 {
+		t.Fatal("watchdog never ticked")
+	}
+	found := false
+	for _, v := range w.Violations() {
+		if v.Invariant == "pte-frame" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("injected corruption not detected; got %v", w.Violations())
+	}
+}
+
+// The watchdog caps its violation list instead of growing without bound.
+func TestWatchdogViolationCap(t *testing.T) {
+	s := buildSystem(t)
+	w := NewWatchdog(s, 50*sim.Microsecond)
+	for i := 0; i < maxWatchdogViolations+10; i++ {
+		w.record(Violation{"synthetic", "x"})
+	}
+	if len(w.Violations()) != maxWatchdogViolations {
+		t.Fatalf("cap not enforced: %d", len(w.Violations()))
+	}
+	if !w.Truncated() {
+		t.Fatal("truncation not reported")
+	}
+	w.Stop()
+	_ = s
+}

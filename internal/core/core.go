@@ -318,7 +318,18 @@ func (s *System) Recovery() metrics.Recovery {
 	r.HWBounceFaults = ks.HWBounceFaults
 	r.SIGBUSKills = ks.SIGBUSKills
 	r.WritebackErrors = ks.WritebackErrors
+	r.SetBacklogWait(s.BacklogWait())
 	return r
+}
+
+// BacklogWait merges every SMU's PMSHR backlog wait-time histogram
+// (picoseconds per wait) into one distribution.
+func (s *System) BacklogWait() *metrics.Histogram {
+	h := metrics.NewHistogram()
+	for _, u := range s.SMUs {
+		h.Merge(u.BacklogWait())
+	}
+	return h
 }
 
 // FaultTrace is a single-miss phase trace (Fig. 11(b)).

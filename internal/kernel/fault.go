@@ -76,17 +76,44 @@ func (k *Kernel) osFaultPath(th *Thread, as *mmu.AddressSpace, va pagetable.VAdd
 		}
 		// Anonymous first touch (no swapped-out content): zero-fill a
 		// fresh frame without any I/O — the minor-fault path of real
-		// kernels, and the fallback for bounced hardware zero-fills.
+		// kernels, and the fallback for bounced hardware zero-fills. The
+		// fault holds the page lock like the major path: allocation can
+		// park in the reclaim-retry loop, and a concurrent first-touch of
+		// the same page must coalesce, not insert the page twice.
 		if vma.Anon && !vma.swapped[idx] {
 			k.stats.MinorFaults++
 			ms.SetCause(trace.CauseOSMinor)
+			if waiters, inflight := k.faultInflight[key]; inflight {
+				k.faultInflight[key] = append(waiters, k.pageLockWaiter(ms, hw, as, va, vma, idx, done))
+				return
+			}
+			k.faultInflight[key] = []func(){}
 			k.allocFrame(hw, func(frame mem.FrameID) {
 				k.kspan(ms, "page-alloc+pte-install", hw, c.PageAlloc+c.PTEInstallReturn, func() {
+					finish := func() {
+						waiters := k.faultInflight[key]
+						delete(k.faultInflight, key)
+						done()
+						for _, w := range waiters {
+							w()
+						}
+					}
+					// While the allocation stalled, the SMU may have resolved
+					// the page for another thread (its miss found a refilled
+					// free queue after ours bounced). Installing over it would
+					// leak the SMU's frame; yield to it instead.
+					if e, found := as.Table.Lookup(va); found && e.Present() {
+						if err := k.mem.Free(frame); err != nil {
+							panic(err)
+						}
+						finish()
+						return
+					}
 					pg := k.insertPage(vma.st, vma.File, idx, frame,
 						mapping{as: as, va: va.PageBase(), vma: vma})
 					k.finishMap(as, va, vma, pg)
 					if !hwFailed {
-						done()
+						finish()
 						return
 					}
 					// No device time to hide behind here: refill the free
@@ -96,7 +123,7 @@ func (k *Kernel) osFaultPath(th *Thread, as *mmu.AddressSpace, va pagetable.VAdd
 					for _, s := range k.smuList {
 						total += k.refillSMU(s)
 					}
-					k.kspan(ms, "fault-queue-refill", hw, c.RefillPerFrame*sim.Time(total), done)
+					k.kspan(ms, "fault-queue-refill", hw, c.RefillPerFrame*sim.Time(total), finish)
 				})
 			})
 			return
@@ -106,16 +133,7 @@ func (k *Kernel) osFaultPath(th *Thread, as *mmu.AddressSpace, va pagetable.VAdd
 		// take the minor-fault path.
 		if waiters, inflight := k.faultInflight[key]; inflight {
 			ms.SetCause(trace.CauseOSMinor)
-			waitStart := k.eng.Now()
-			k.faultInflight[key] = append(waiters, func() {
-				ms.AddSpan(trace.LayerKernel, "page-lock-wait", waitStart, k.eng.Now())
-				k.kspan(ms, "minor-fault", hw, c.MinorFault, func() {
-					if pg := k.lookupPage(vma.File, idx); pg != nil {
-						k.mapPTE(as, va, vma, pg)
-					}
-					done()
-				})
-			})
+			k.faultInflight[key] = append(waiters, k.pageLockWaiter(ms, hw, as, va, vma, idx, done))
 			return
 		}
 		k.faultInflight[key] = []func(){}
@@ -169,15 +187,29 @@ func (k *Kernel) osFaultPath(th *Thread, as *mmu.AddressSpace, va pagetable.VAdd
 							return
 						}
 						k.kspan(ms, "metadata+pte-install", hw, c.MetadataUpdate+c.PTEInstallReturn, func() {
+							finish := func() {
+								waiters := k.faultInflight[key]
+								delete(k.faultInflight, key)
+								done()
+								for _, w := range waiters {
+									w()
+								}
+							}
+							// The SMU may have resolved this page for another
+							// thread while our I/O was in flight (its miss
+							// found a refilled queue after ours bounced);
+							// installing over it would leak its frame.
+							if e, found := as.Table.Lookup(va); found && e.Present() {
+								if err := k.mem.Free(frame); err != nil {
+									panic(err)
+								}
+								finish()
+								return
+							}
 							pg := k.insertPage(vma.st, vma.File, idx, frame,
 								mapping{as: as, va: va.PageBase(), vma: vma})
 							k.finishMap(as, va, vma, pg)
-							waiters := k.faultInflight[key]
-							delete(k.faultInflight, key)
-							done()
-							for _, w := range waiters {
-								w()
-							}
+							finish()
 						})
 					})
 				}
@@ -189,6 +221,29 @@ func (k *Kernel) osFaultPath(th *Thread, as *mmu.AddressSpace, va pagetable.VAdd
 			})
 		})
 	})
+}
+
+// pageLockWaiter builds the continuation for a fault parked on another
+// fault's page lock: when the holder finishes, the waiter takes the
+// minor-fault path off the page cache. The page can be absent (the
+// holder's I/O failed) or the PTE already resolved (the SMU beat the OS
+// to it); both cases just return — the retried walk settles the access.
+func (k *Kernel) pageLockWaiter(ms *trace.Miss, hw *cpu.HWThread, as *mmu.AddressSpace,
+	va pagetable.VAddr, vma *VMA, idx int, done func()) func() {
+	waitStart := k.eng.Now()
+	return func() {
+		ms.AddSpan(trace.LayerKernel, "page-lock-wait", waitStart, k.eng.Now())
+		k.kspan(ms, "minor-fault", hw, k.cfg.Costs.MinorFault, func() {
+			if e, found := as.Table.Lookup(va); found && e.Present() {
+				done()
+				return
+			}
+			if pg := k.lookupPage(vma.File, idx); pg != nil {
+				k.mapPTE(as, va, vma, pg)
+			}
+			done()
+		})
+	}
 }
 
 // sigbus is the delivery model for an unrecoverable fault I/O: the paging

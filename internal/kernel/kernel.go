@@ -15,6 +15,7 @@ import (
 	"hwdp/internal/cpu"
 	"hwdp/internal/fs"
 	"hwdp/internal/mem"
+	"hwdp/internal/metrics"
 	"hwdp/internal/mmu"
 	"hwdp/internal/nvme"
 	"hwdp/internal/pagetable"
@@ -93,6 +94,25 @@ type Config struct {
 	// retryable failure. This is what recovers commands lost inside a
 	// faulty device (no completion ever arrives).
 	BlockTimeout sim.Time
+
+	// DirtyRatioFrac, when non-zero, is the hard dirty-page limit as a
+	// fraction of physical frames: a thread writing past it is throttled
+	// in ThrottleBackoff slices until the flusher catches up (the
+	// balance_dirty_pages model). Zero (the default) disables dirty
+	// accounting and throttling entirely.
+	DirtyRatioFrac float64
+	// DirtyBackgroundFrac starts background writeback once the dirty-page
+	// count exceeds this fraction of frames. Zero with DirtyRatioFrac set
+	// defaults to half the hard limit.
+	DirtyBackgroundFrac float64
+	// ThrottleBackoff is one throttle sleep slice (0 = 100 µs).
+	ThrottleBackoff sim.Time
+	// OOMStallLimit, when non-zero, bounds how long an allocation may
+	// stall in the reclaim-retry loop before the OOM killer selects and
+	// kills the process with the largest resident set. Zero (the default)
+	// keeps the pre-existing behavior: exhausted allocations retry until
+	// writeback completions free memory.
+	OOMStallLimit sim.Time
 }
 
 // DefaultConfig returns the configuration used by the evaluation.
@@ -138,14 +158,34 @@ type Stats struct {
 	BlockTimeouts   uint64 // commands the block layer aborted after no completion
 	SIGBUSKills     uint64 // threads killed: fault I/O unrecoverable (UECC)
 	WritebackErrors uint64 // writebacks abandoned after exhausting retries
+
+	// Pressure counters (memory oversubscription).
+	AllocStalls     uint64 // allocations that entered the reclaim-retry loop
+	ThrottledWrites uint64 // writes stalled at the dirty-ratio limit
+	FlusherRuns     uint64 // background writeback sweeps
+	FlusherPages    uint64 // pages cleaned by background writeback
+	OOMKills        uint64 // processes killed by the OOM killer
+	OOMReapedPages  uint64 // resident pages reclaimed from OOM victims
+	SQFullWaits     uint64 // OS commands parked on a full submission queue
 }
 
 type storKey struct{ sid, dev uint8 }
 
 type osQueue struct {
 	qp      *nvme.QueuePair
+	st      *storage
 	nextCID uint16
 	pending map[uint16]*osPending
+	// waitlist holds commands that found the submission queue full (I/O
+	// storm): instead of overflowing, they park here and the completion
+	// interrupt resubmits them as slots free up.
+	waitlist []sqWait
+}
+
+// sqWait is one parked command plus the time it started waiting.
+type sqWait struct {
+	cmd nvme.Command
+	at  sim.Time
 }
 
 // osPending tracks one in-flight OS command: the completion callback and
@@ -166,11 +206,16 @@ type storage struct {
 
 // Process is one address space plus its VMAs.
 type Process struct {
-	k       *Kernel
-	AS      *mmu.AddressSpace
-	vmas    []*VMA
-	nextMap pagetable.VAddr
+	k         *Kernel
+	AS        *mmu.AddressSpace
+	vmas      []*VMA
+	threads   []*Thread
+	nextMap   pagetable.VAddr
+	oomKilled bool
 }
+
+// OOMKilled reports whether the OOM killer terminated this process.
+func (p *Process) OOMKilled() bool { return p.oomKilled }
 
 // VMA is one mapped region of a file (or of anonymous memory, in which
 // case File is a hidden swap-backing file).
@@ -244,6 +289,10 @@ type Page struct {
 	maps  []mapping
 	elem  *list.Element // LRU position, nil while not on the LRU
 	wb    bool          // under writeback
+	// orphan marks a page whose last mapping was torn down while a
+	// non-freeing writeback (msync/flusher) was in flight: the writeback
+	// completion must free the frame, or it leaks.
+	orphan bool
 }
 
 type pcKey struct {
@@ -294,11 +343,30 @@ type Kernel struct {
 	started    bool
 	tracer     *trace.Tracer
 
+	// Pressure state. psi is the optional pressure-stall recorder
+	// (recording-only: it never schedules events, so attaching it cannot
+	// perturb event ordering). The dirty counters are armed only when
+	// Config.DirtyRatioFrac is set; dirtyPages is approximate, Linux-style
+	// (clean→dirty PTE transitions minus writeback submissions, clamped
+	// at zero).
+	psi            *metrics.PSI
+	dirtyPages     int
+	dirtyBgLimit   int // frames; 0 = dirty accounting off
+	dirtyHardLimit int
+	flushing       bool
+
 	// Pooled retry records for kexec's busy-wait poll: a core can stay
 	// busy across many 150ns polls, so the retry must not allocate a
 	// closure per attempt.
 	kexecFn   func(any)
 	kexecPool []*kexecReq
+
+	// Pooled carriers for the allocation reclaim-retry loop and the
+	// dirty-throttle loop (both can poll many times under pressure).
+	allocFn      func(any)
+	allocPool    []*allocReq
+	throttleFn   func(any)
+	throttlePool []*throttleReq
 }
 
 // New wires a kernel over the machine components. Background threads run on
@@ -327,6 +395,25 @@ func New(eng *sim.Engine, c *cpu.CPU, m *mem.Memory, mm *mmu.MMU, cfg Config,
 	mm.SetOSFaultHandler(k.handleFault)
 	mm.DispatchHW = cfg.Scheme == HWDP
 	k.kexecFn = k.runKexec
+	k.allocFn = k.runAllocRetry
+	k.throttleFn = k.runThrottle
+	if cfg.DirtyRatioFrac > 0 {
+		k.dirtyHardLimit = int(float64(m.Frames()) * cfg.DirtyRatioFrac)
+		if k.dirtyHardLimit < 1 {
+			k.dirtyHardLimit = 1
+		}
+		bg := cfg.DirtyBackgroundFrac
+		if bg <= 0 {
+			bg = cfg.DirtyRatioFrac / 2
+		}
+		k.dirtyBgLimit = int(float64(m.Frames()) * bg)
+		if k.dirtyBgLimit < 1 {
+			k.dirtyBgLimit = 1
+		}
+		// Dirty accounting is armed only when throttling is configured, so
+		// default runs take no hook call on the write path.
+		mm.OnDirty = k.noteDirtied
+	}
 	return k
 }
 
@@ -334,6 +421,46 @@ func New(eng *sim.Engine, c *cpu.CPU, m *mem.Memory, mm *mmu.MMU, cfg Config,
 // is the default). The kernel uses it to snapshot the flight recorder on
 // SIGBUS kills; span recording goes through the per-miss contexts.
 func (k *Kernel) SetTracer(t *trace.Tracer) { k.tracer = t }
+
+// SetPSI attaches a pressure-stall recorder (nil, the default, disables
+// it). Recording is passive — it never schedules events — so attaching
+// it cannot change simulation outcomes.
+func (k *Kernel) SetPSI(p *metrics.PSI) { k.psi = p }
+
+// Processes returns the live process list in creation order.
+func (k *Kernel) Processes() []*Process { return k.procs }
+
+// PageCacheLen returns the number of resident pages in the page cache.
+func (k *Kernel) PageCacheLen() int { return len(k.pageCache) }
+
+// AccountedFrames counts the distinct physical frames the kernel can
+// name: page-cache pages (via the LRU, which holds every cached page),
+// present PTEs of every process (covers hardware-installed pages not yet
+// synced into the cache), and the pinned WAL buffer. The leak audit
+// compares it against the allocator's outstanding count once in-flight
+// I/O has drained.
+func (k *Kernel) AccountedFrames() int {
+	seen := make(map[mem.FrameID]bool)
+	for e := k.lru.Front(); e != nil; e = e.Next() {
+		seen[e.Value.(*Page).frame] = true
+	}
+	for _, p := range k.procs {
+		p.AS.Table.ScanAll(func(_ pagetable.VAddr, pte pagetable.EntryRef) {
+			if ent := pte.Get(); ent.Present() {
+				seen[ent.PFN()] = true
+			}
+		})
+	}
+	n := len(seen)
+	if k.walBuffer != mem.NoFrame {
+		n++
+	}
+	return n
+}
+
+// DirtyPages returns the approximate dirty-page count. It is zero unless
+// Config.DirtyRatioFrac armed dirty accounting.
+func (k *Kernel) DirtyPages() int { return k.dirtyPages }
 
 // Stats returns a copy of the counters.
 func (k *Kernel) Stats() Stats { return k.stats }
@@ -406,7 +533,9 @@ func (k *Kernel) NewProcess() *Process {
 
 // NewThread pins a software thread to hardware thread hwID.
 func (k *Kernel) NewThread(p *Process, hwID int) *Thread {
-	return &Thread{ID: hwID, HW: k.cpu.Thread(hwID), Proc: p}
+	th := &Thread{ID: hwID, HW: k.cpu.Thread(hwID), Proc: p}
+	p.threads = append(p.threads, th)
+	return th
 }
 
 func (p *Process) findVMA(va pagetable.VAddr) *VMA {
@@ -488,7 +617,7 @@ func (k *Kernel) osQueueFor(st *storage, hw *cpu.HWThread) *osQueue {
 	if !ok {
 		qp := nvme.NewQueuePair(st.nextQP, 256)
 		st.nextQP++
-		q = &osQueue{qp: qp, pending: make(map[uint16]*osPending)}
+		q = &osQueue{qp: qp, st: st, pending: make(map[uint16]*osPending)}
 		st.qps[hw.ID] = q
 		st.dev.Attach(qp, func(cp nvme.Completion) { k.osInterrupt(q, cp) })
 	}
@@ -503,7 +632,7 @@ func (k *Kernel) osInterrupt(q *osQueue, _ nvme.Completion) {
 	for {
 		cp, ok := q.qp.PollCQ()
 		if !ok {
-			return
+			break
 		}
 		q.qp.ConsumeCQ()
 		p := q.pending[cp.CID]
@@ -512,6 +641,39 @@ func (k *Kernel) osInterrupt(q *osQueue, _ nvme.Completion) {
 			p.timeout.Cancel()
 			p.done(cp.Status)
 		}
+	}
+	k.drainParked(q)
+}
+
+// drainParked resubmits commands parked on a full submission queue, in
+// arrival order, until the queue fills again or the waitlist empties.
+func (k *Kernel) drainParked(q *osQueue) {
+	for len(q.waitlist) > 0 {
+		w := q.waitlist[0]
+		if err := q.qp.Submit(w.cmd); err != nil {
+			return
+		}
+		copy(q.waitlist, q.waitlist[1:])
+		q.waitlist[len(q.waitlist)-1] = sqWait{}
+		q.waitlist = q.waitlist[:len(q.waitlist)-1]
+		now := k.eng.Now()
+		k.psi.EndStall(metrics.StallSQFull, int64(now), int64(now-w.at))
+		q.st.dev.RingSQDoorbell(q.qp.ID)
+	}
+}
+
+// dropParked removes a parked command (its block-layer timeout fired
+// before a submission slot opened) so it is never submitted against a
+// frame the caller may have released.
+func (k *Kernel) dropParked(q *osQueue, cid uint16) {
+	for i, w := range q.waitlist {
+		if w.cmd.CID != cid {
+			continue
+		}
+		now := k.eng.Now()
+		k.psi.EndStall(metrics.StallSQFull, int64(now), int64(now-w.at))
+		q.waitlist = append(q.waitlist[:i], q.waitlist[i+1:]...)
+		return
 	}
 }
 
@@ -537,6 +699,7 @@ func (k *Kernel) submitIO(st *storage, hw *cpu.HWThread, op nvme.Opcode, lba uin
 				return
 			}
 			delete(q.pending, cid)
+			k.dropParked(q, cid)
 			st.dev.Abort(q.qp.ID, cid)
 			k.stats.BlockTimeouts++
 			ms.Mark(trace.LayerKernel, "block-timeout", k.eng.Now())
@@ -552,7 +715,14 @@ func (k *Kernel) submitIO(st *storage, hw *cpu.HWThread, op nvme.Opcode, lba uin
 		Trace:  ms,
 	}
 	if err := q.qp.Submit(cmd); err != nil {
-		panic(fmt.Sprintf("kernel: OS queue overflow: %v", err))
+		// Submission queue full (I/O storm): park the command instead of
+		// overflowing. The completion interrupt drains the waitlist as
+		// slots free; the block-layer timeout still bounds the total wait.
+		k.stats.SQFullWaits++
+		now := k.eng.Now()
+		k.psi.BeginStall(metrics.StallSQFull, int64(now))
+		q.waitlist = append(q.waitlist, sqWait{cmd: cmd, at: now})
+		return
 	}
 	st.dev.RingSQDoorbell(q.qp.ID)
 }

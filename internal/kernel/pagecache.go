@@ -6,6 +6,7 @@ import (
 	"hwdp/internal/cpu"
 	"hwdp/internal/fs"
 	"hwdp/internal/mem"
+	"hwdp/internal/metrics"
 	"hwdp/internal/nvme"
 	"hwdp/internal/pagetable"
 	"hwdp/internal/sim"
@@ -52,23 +53,38 @@ func (k *Kernel) freeLevel() (free, low, high uint64) {
 // allocFrame hands out a frame, entering direct reclaim when the allocator
 // is empty. done receives the frame; the caller charges ordinary
 // allocation cost, this function charges only the direct-reclaim penalty.
+//
+// A stalled allocation rides a pooled allocReq carrier through the
+// reclaim-retry loop — under sustained oversubscription the 50 µs polls
+// repeat many times, so the retry must not allocate a closure per
+// attempt (the same discipline as kexec's poll).
 func (k *Kernel) allocFrame(hw *cpu.HWThread, done func(mem.FrameID)) {
 	if f, err := k.mem.Alloc(); err == nil {
 		done(f)
 		return
 	}
+	r := k.getAllocReq()
+	r.hw, r.done, r.since = hw, done, k.eng.Now()
+	k.stats.AllocStalls++
+	k.psi.BeginStall(metrics.StallAlloc, int64(r.since))
+	k.allocReclaim(r)
+}
+
+// allocReclaim runs one direct-reclaim pass for a stalled allocation:
+// either the retried Alloc succeeds, or the next 50 µs poll is scheduled.
+func (k *Kernel) allocReclaim(r *allocReq) {
 	k.stats.DirectReclaims++
-	k.kexec(hw, k.cfg.Costs.DirectReclaim, func() {
-		k.reclaim(hw, 32, func(freed int) {
+	k.kexec(r.hw, k.cfg.Costs.DirectReclaim, func() {
+		k.reclaim(r.hw, 32, func(int) {
 			if f, err := k.mem.Alloc(); err == nil {
-				done(f)
+				k.allocDone(r, f)
 				return
 			}
 			// Still nothing (all pages referenced or under writeback):
 			// retry shortly; forward progress comes from writeback
-			// completions.
-			//hwdp:ignore eventcapture memory-exhaustion retry after a failed direct reclaim, off the steady-state path
-			k.eng.Post(50*sim.Microsecond, func() { k.allocFrame(hw, done) })
+			// completions — or, past Config.OOMStallLimit, from the OOM
+			// killer (see runAllocRetry).
+			k.eng.PostArg(50*sim.Microsecond, k.allocFn, r)
 		})
 	})
 }
@@ -172,6 +188,7 @@ func (k *Kernel) evictPage(hw *cpu.HWThread, pg *Page, done func()) {
 	// write is submitted; the frame is released at write completion.
 	pg.wb = true
 	k.stats.Writebacks++
+	k.noteCleaned()
 	blk, _ := pg.st.fsys.Block(pg.file, pg.idx)
 	k.kexec(hw, k.cfg.Costs.EvictPerPage+k.cfg.Costs.WritebackSubmit, func() {
 		k.submitIORetry(pg.st, hw, nvme.OpWrite, blk.LBA, pg.frame, nil, func(status uint16) {

@@ -244,6 +244,7 @@ func (k *Kernel) unmapOne(p *Process, vma *VMA, va pagetable.VAddr, pte pagetabl
 	if e.Dirty() && !pg.wb {
 		pg.wb = true
 		k.stats.Writebacks++
+		k.noteCleaned()
 		blk, _ := vma.st.fsys.Block(pg.file, pg.idx)
 		k.submitIORetry(vma.st, k.kswapdHW, nvme.OpWrite, blk.LBA, pg.frame, nil, func(status uint16) {
 			if status != nvme.StatusSuccess {
@@ -260,7 +261,11 @@ func (k *Kernel) unmapOne(p *Process, vma *VMA, va pagetable.VAddr, pte pagetabl
 		if err := k.mem.Free(pg.frame); err != nil {
 			panic(err)
 		}
+		return
 	}
+	// A non-freeing writeback (msync or the flusher) is still in flight:
+	// its completion owns the frame now and must release it.
+	pg.orphan = true
 }
 
 // Msync synchronizes a fast-mmap region: pending OS-metadata updates are
@@ -296,6 +301,7 @@ func (k *Kernel) Msync(th *Thread, start pagetable.VAddr, done func()) {
 			pte.Set(e.ClearFlags(pagetable.FlagDirty))
 			pg.wb = true
 			k.stats.Writebacks++
+			k.noteCleaned()
 			cost += c.WritebackSubmit
 			blk, _ := vma.st.fsys.Block(pg.file, pg.idx)
 			outstanding++
@@ -304,6 +310,14 @@ func (k *Kernel) Msync(th *Thread, start pagetable.VAddr, done func()) {
 					k.stats.WritebackErrors++
 				}
 				pg.wb = false
+				if pg.orphan {
+					// The region was unmapped while this writeback was in
+					// flight; the frame is ours to free.
+					pg.orphan = false
+					if err := k.mem.Free(pg.frame); err != nil {
+						panic(err)
+					}
+				}
 				outstanding--
 				maybeDone()
 			})

@@ -16,7 +16,20 @@ import (
 // With Config.StallTimeout set (HWDP), a stall that outlives the timeout
 // raises a timeout exception and context-switches the thread away, freeing
 // the core while a long-latency I/O completes (Section V).
+//
+// With Config.DirtyRatioFrac set, a write arriving while the dirty-page
+// count sits at the hard limit is throttled (balance_dirty_pages) before
+// the access proceeds.
 func (k *Kernel) Access(th *Thread, va pagetable.VAddr, write bool, done func(mmu.Result)) {
+	if write && k.dirtyHardLimit > 0 && k.dirtyPages >= k.dirtyHardLimit {
+		k.throttle(th, va, done)
+		return
+	}
+	k.accessNow(th, va, write, done)
+}
+
+// accessNow is Access past the throttle gate.
+func (k *Kernel) accessNow(th *Thread, va pagetable.VAddr, write bool, done func(mmu.Result)) {
 	th.beginStall(k)
 	timedOut := false
 	var tev *sim.Event

@@ -230,6 +230,28 @@ type Recovery struct {
 	HWBounceFaults  uint64 // walks degraded from hardware to the OS path
 	SIGBUSKills     uint64
 	WritebackErrors uint64
+
+	// PMSHR backlog wait-time distribution (requests that found all PMSHR
+	// slots busy and waited for one). The fields summarize the histogram
+	// recorded by the SMU so Recovery stays a flat comparable value; the
+	// full distribution is available from the system's BacklogWait
+	// histogram.
+	BacklogWaits     uint64 // requests that waited for a PMSHR slot
+	BacklogWaitP50PS int64  // median wait, picoseconds
+	BacklogWaitP99PS int64  // p99 wait, picoseconds
+	BacklogWaitMaxPS int64  // worst wait, picoseconds
+}
+
+// SetBacklogWait fills the backlog-wait summary fields from the recorded
+// wait-time histogram (nil or empty leaves them zero).
+func (r *Recovery) SetBacklogWait(h *Histogram) {
+	if h == nil || h.Count() == 0 {
+		return
+	}
+	r.BacklogWaits = h.Count()
+	r.BacklogWaitP50PS = h.Percentile(50)
+	r.BacklogWaitP99PS = h.Percentile(99)
+	r.BacklogWaitMaxPS = h.Max()
 }
 
 // String renders the recovery report as an aligned two-column table.
@@ -253,6 +275,7 @@ func (r Recovery) String() string {
 		{"HW-bounced faults", r.HWBounceFaults},
 		{"SIGBUS kills", r.SIGBUSKills},
 		{"writeback errors", r.WritebackErrors},
+		{"PMSHR backlog waits", r.BacklogWaits},
 	}
 	width := 0
 	for _, row := range rows {
@@ -263,6 +286,11 @@ func (r Recovery) String() string {
 	var sb strings.Builder
 	for _, row := range rows {
 		fmt.Fprintf(&sb, "  %-*s %12d\n", width, row.label, row.v)
+	}
+	if r.BacklogWaits > 0 {
+		fmt.Fprintf(&sb, "  %-*s p50 %.2fus  p99 %.2fus  max %.2fus\n",
+			width, "backlog wait", float64(r.BacklogWaitP50PS)/1e6,
+			float64(r.BacklogWaitP99PS)/1e6, float64(r.BacklogWaitMaxPS)/1e6)
 	}
 	return sb.String()
 }

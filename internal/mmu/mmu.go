@@ -114,6 +114,12 @@ type MMU struct {
 	// that misses and threads it through the SMU or the OS fault path.
 	Tracer *trace.Tracer
 
+	// OnDirty, when non-nil, fires on every clean→dirty PTE transition
+	// (first write to a clean page). The kernel arms it for dirty-page
+	// accounting when writeback throttling is configured; nil (the
+	// default) costs nothing.
+	OnDirty func()
+
 	osFault OSFaultFunc
 	stats   Stats
 
@@ -182,6 +188,9 @@ func (m *MMU) Access(as *AddressSpace, va pagetable.VAddr, write bool, ctx any, 
 			m.stats.TLBHits++
 			if write && !e.Dirty() {
 				ref.Set(e.WithFlags(pagetable.FlagDirty))
+				if m.OnDirty != nil {
+					m.OnDirty()
+				}
 			}
 			done(Result{OutcomeTLBHit, ref.Get()})
 			return
@@ -242,6 +251,9 @@ func (m *MMU) walk(ctx any, as *AddressSpace, va pagetable.VAddr, write bool, do
 		flags := pagetable.FlagAccessed
 		if write {
 			flags |= pagetable.FlagDirty
+			if m.OnDirty != nil && !e.Dirty() {
+				m.OnDirty()
+			}
 		}
 		pte.Set(e.WithFlags(flags))
 		m.tlb.Insert(as.ASID, va.PageNumber(), pte)
@@ -274,7 +286,11 @@ func (m *MMU) walk(ctx any, as *AddressSpace, va pagetable.VAddr, write bool, do
 			switch res {
 			case smu.ResultOK:
 				if write {
+					// A freshly installed PTE is always clean.
 					pte.Set(pte.Get().WithFlags(pagetable.FlagDirty))
+					if m.OnDirty != nil {
+						m.OnDirty()
+					}
 				}
 				m.tlb.Insert(as.ASID, va.PageNumber(), pte)
 				ms.Finish(m.eng.Now())

@@ -16,6 +16,7 @@ package smu
 import (
 	"fmt"
 
+	"hwdp/internal/metrics"
 	"hwdp/internal/nvme"
 	"hwdp/internal/pagetable"
 	"hwdp/internal/sim"
@@ -103,6 +104,7 @@ type Stats struct {
 	FramesAccepted  uint64 // records accepted by Refill/RefillCore
 	FramesInstalled uint64 // frames installed into PTEs (I/O and anon)
 	FramesRecycled  uint64 // frames returned to the free queue on failure
+	RaceYields      uint64 // installs yielded to an OS-resolved PTE (frame recycled)
 }
 
 // RetryPolicy bounds the SMU's hardware error recovery. On a retryable
@@ -138,6 +140,10 @@ type pmshrEntry struct {
 	attempts int    // submissions so far, including the first
 	timeout  *sim.Event
 	newPTE   pagetable.Entry // installed PTE, staged between PT update and notify
+	// installed marks that this entry's frame was written into the PTE;
+	// finish recycles the frame otherwise (failure, or the PT update
+	// yielded to a concurrently OS-installed translation).
+	installed bool
 }
 
 type devSlot struct {
@@ -181,6 +187,13 @@ type SMU struct {
 	devs        [8]*devSlot
 	stats       Stats
 	barriers    []*barrier
+
+	// backlogWait records how long each backlogged request waited for a
+	// PMSHR slot (picoseconds); psi, when set, feeds the same waits into
+	// machine-wide pressure-stall accounting. Both are recording-only, so
+	// they never affect event ordering.
+	backlogWait *metrics.Histogram
+	psi         *metrics.PSI
 
 	// Pools: PMSHR entry state, admission carriers, and completion-notice
 	// carriers are recycled so the steady-state miss path allocates
@@ -232,13 +245,14 @@ func NewPerCore(eng *sim.Engine, sid uint8, freeQueueDepth, entries, cores int) 
 		panic("smu: need at least one free page queue")
 	}
 	s := &SMU{
-		SID:     sid,
-		eng:     eng,
-		timing:  DefaultTiming(),
-		entries: entries,
-		slots:   make([]*pmshrEntry, entries),
-		nextCID: 1,
-		policy:  DefaultRetryPolicy(),
+		SID:         sid,
+		eng:         eng,
+		timing:      DefaultTiming(),
+		entries:     entries,
+		slots:       make([]*pmshrEntry, entries),
+		nextCID:     1,
+		policy:      DefaultRetryPolicy(),
+		backlogWait: metrics.NewHistogram(),
 	}
 	per := freeQueueDepth / cores
 	if per < 2 {
@@ -343,6 +357,20 @@ func (s *SMU) RefillCore(core int, recs []FrameRecord) int {
 
 // Outstanding returns the number of in-flight hardware-handled misses.
 func (s *SMU) Outstanding() int { return s.entries - len(s.freeIdx) }
+
+// BacklogLen returns how many requests are currently waiting for a PMSHR
+// slot. The invariant watchdog uses it for the no-lost-wakeup check: a
+// non-empty backlog with zero outstanding misses means nobody will ever
+// admit the waiters.
+func (s *SMU) BacklogLen() int { return len(s.backlog) - s.backlogHead }
+
+// BacklogWait exposes the PMSHR backlog wait-time histogram (picoseconds):
+// how long each request that found all slots busy waited for admission.
+func (s *SMU) BacklogWait() *metrics.Histogram { return s.backlogWait }
+
+// SetPSI attaches machine-wide pressure-stall accounting; backlog waits
+// are reported as StallPMSHRBacklog stalls. Nil (the default) disables.
+func (s *SMU) SetPSI(p *metrics.PSI) { s.psi = p }
 
 // lookup scans the PMSHR slots for an outstanding miss on a PTE — the CAM
 // lookup the hardware performs on every request.
@@ -521,6 +549,7 @@ func (s *SMU) admit(req Request, done DoneFunc) {
 		// All PMSHRs busy: the walk stays pending until a slot frees.
 		s.backlog = append(s.backlog, backlogItem{req, done, s.eng.Now()})
 		s.stats.Backlogged++
+		s.psi.BeginStall(metrics.StallPMSHRBacklog, int64(s.eng.Now()))
 		return
 	}
 
@@ -697,8 +726,19 @@ func (s *SMU) admitAnon(req Request, done DoneFunc) {
 // anonFill completes a first-touch anonymous miss: install the zero-filled
 // frame's PTE and broadcast.
 func (s *SMU) anonFill(e *pmshrEntry) {
+	// Same locked PTE update as ptUpdate: a bounced duplicate of this
+	// miss may have zero-filled the page through the OS path meanwhile.
+	if cur := e.req.PTE.Get(); cur.Present() {
+		s.stats.RaceYields++
+		s.stats.Handled++
+		core := e.req.Core
+		s.finish(e, ResultOK, cur)
+		s.queueFor(core).Prefetch()
+		return
+	}
 	pte := pagetable.MakePresent(e.frame.PFN, e.req.Prot, false)
 	e.req.PTE.Set(pte)
+	e.installed = true
 	pagetable.MarkUnsynced(e.req.PUD, e.req.PMD)
 	s.stats.AnonZeroFill++
 	s.stats.Handled++
@@ -753,8 +793,23 @@ func (s *SMU) cqHandle(dev *devSlot) {
 // metadata, and marking the upper levels; then schedules the broadcast.
 func (s *SMU) ptUpdate(e *pmshrEntry) {
 	t := s.timing
+	// The PTE write is a locked compare-exchange: if the OS fault path
+	// resolved the page while the I/O was in flight (a duplicate of this
+	// miss bounced to the exception path earlier and won), installing
+	// over its translation would leak the OS's frame. Yield: complete
+	// the walk with the OS's PTE; finish recycles our fetched frame.
+	if cur := e.req.PTE.Get(); cur.Present() {
+		s.stats.RaceYields++
+		e.newPTE = cur
+		s.trace("notify MMU", t.Notify)
+		notifyAt := s.eng.Now()
+		e.req.Trace.AddSpan(trace.LayerSMU, "notify-mmu", notifyAt, notifyAt+t.Notify)
+		s.eng.PostArg(t.Notify, s.notifyFn, e)
+		return
+	}
 	pte := pagetable.MakePresent(e.frame.PFN, e.req.Prot, false)
 	e.req.PTE.Set(pte)
+	e.installed = true
 	e.newPTE = pte
 	pagetable.MarkUnsynced(e.req.PUD, e.req.PMD)
 	s.trace("notify MMU", t.Notify)
@@ -771,11 +826,12 @@ func (s *SMU) finish(e *pmshrEntry, res Result, pte pagetable.Entry) {
 	s.slots[e.idx] = nil
 	e.cid = 0
 	s.freeIdx = append(s.freeIdx, e.idx)
-	if res == ResultOK {
+	if e.installed {
 		s.stats.FramesInstalled++
 	} else {
-		// The popped frame was never installed: return it to the free queue
-		// so it cannot leak (conservation: accepted == installed + held).
+		// The popped frame was never installed (failure, or the PT
+		// update yielded to an OS-resolved PTE): return it to the free
+		// queue so it cannot leak (accepted == installed + held).
 		s.queueFor(e.req.Core).Requeue(e.frame)
 		s.stats.FramesRecycled++
 	}
@@ -793,7 +849,10 @@ func (s *SMU) finish(e *pmshrEntry, res Result, pte pagetable.Entry) {
 			s.backlog = s.backlog[:0]
 			s.backlogHead = 0
 		}
-		item.req.Trace.AddSpan(trace.LayerSMU, "pmshr-backlog-wait", item.at, s.eng.Now())
+		now := s.eng.Now()
+		item.req.Trace.AddSpan(trace.LayerSMU, "pmshr-backlog-wait", item.at, now)
+		s.backlogWait.Record(int64(now - item.at))
+		s.psi.EndStall(metrics.StallPMSHRBacklog, int64(now), int64(now-item.at))
 		s.putEntry(e)
 		s.admit(item.req, item.done)
 		return

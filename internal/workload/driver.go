@@ -95,6 +95,13 @@ func RunMixed(sys *core.System, assignments []Assignment, opt RunOptions) []Resu
 		measured := 0
 		var loop func()
 		loop = func() {
+			if th.Killed {
+				// SIGBUS or the OOM killer terminated the thread; it stops
+				// issuing ops and reports what it measured so far.
+				results[i].Elapsed = sys.Eng.Now() - start
+				running--
+				return
+			}
 			if deadline != sim.Never && sys.Eng.Now() >= deadline {
 				results[i].Elapsed = sys.Eng.Now() - start
 				running--
