@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-short bench-go sweep-check chaos-short docs-check fmt lint check
+.PHONY: all build test race bench bench-short bench-go sweep-check chaos-short engine-check docs-check fmt lint check
 
 all: build test
 
@@ -24,7 +24,7 @@ bench:
 	$(GO) run ./cmd/hwdpbench -bench
 
 bench-short:
-	$(GO) run ./cmd/hwdpbench -bench -quick
+	$(GO) run ./cmd/hwdpbench -bench -quick -lanes 8
 
 bench-go:
 	$(GO) test -short -bench=. -benchtime=1x ./...
@@ -45,6 +45,16 @@ sweep-check:
 # docs/PRESSURE.md.
 chaos-short:
 	$(GO) run -race ./cmd/hwdpbench -pressure -quick -no-cache -sweep-out CAMPAIGN_sweep.json
+
+# engine-check runs the lane-engine equivalence battery (protocol unit
+# tests, full-system lanes-vs-sequential output equivalence, the pinned
+# per-lane event-stream digests), then repeats it under the race
+# detector so the 8-lane rounds genuinely dispatch worker goroutines
+# with -race watching. See docs/ENGINE.md.
+ENGINE_TESTS = Lane|Group|Bucket|Lookahead|TieCross|SerialParallel
+engine-check:
+	$(GO) test -run '$(ENGINE_TESTS)' ./internal/sim ./internal/core .
+	$(GO) test -race -run '$(ENGINE_TESTS)' ./internal/sim ./internal/core .
 
 fmt:
 	gofmt -w .

@@ -10,7 +10,13 @@
 // and, across every tracked markdown file:
 //
 //   - every relative link target ([text](path) and [text](path#anchor))
-//     resolves to an existing file or directory.
+//     resolves to an existing file or directory;
+//
+// and, for the experiment driver:
+//
+//   - every flag cmd/hwdpbench registers is documented in EXPERIMENTS.md
+//     (as `-name`), so the reference the docs promise cannot drift behind
+//     the binary's actual surface.
 //
 // It exits non-zero and lists each violation as file:line when anything
 // fails, so it slots directly into CI.
@@ -46,6 +52,10 @@ func main() {
 		os.Exit(1)
 	}
 	if err := checkMarkdownLinks(*root, addf); err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(1)
+	}
+	if err := checkFlagDocs(*root, addf); err != nil {
 		fmt.Fprintln(os.Stderr, "docscheck:", err)
 		os.Exit(1)
 	}
@@ -180,6 +190,77 @@ func exportedRecv(recv *ast.FieldList) bool {
 		return id.IsExported()
 	}
 	return true
+}
+
+// flagCtors are the flag-package constructors whose first argument names a
+// command-line flag.
+var flagCtors = map[string]bool{
+	"Bool": true, "Int": true, "Int64": true, "Uint": true, "Uint64": true,
+	"Float64": true, "String": true, "Duration": true,
+	"BoolVar": true, "IntVar": true, "Int64Var": true, "UintVar": true,
+	"Uint64Var": true, "Float64Var": true, "StringVar": true, "DurationVar": true,
+}
+
+// checkFlagDocs parses cmd/hwdpbench's flag registrations and requires
+// every flag to appear as `-name` somewhere in EXPERIMENTS.md.
+func checkFlagDocs(root string, addf func(string, ...any)) error {
+	cmdDir := filepath.Join(root, "cmd", "hwdpbench")
+	if _, err := os.Stat(cmdDir); err != nil {
+		return nil // repo layout without the driver: nothing to enforce
+	}
+	docPath := filepath.Join(root, "EXPERIMENTS.md")
+	doc, err := os.ReadFile(docPath)
+	if err != nil {
+		addf("%s: EXPERIMENTS.md missing but cmd/hwdpbench exists", docPath)
+		return nil
+	}
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(cmdDir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		path := filepath.Join(cmdDir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !flagCtors[sel.Sel.Name] || len(call.Args) == 0 {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "flag" {
+				return true
+			}
+			// VarName forms take the name as the second argument.
+			arg := call.Args[0]
+			if strings.HasSuffix(sel.Sel.Name, "Var") {
+				if len(call.Args) < 2 {
+					return true
+				}
+				arg = call.Args[1]
+			}
+			lit, ok := arg.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name := strings.Trim(lit.Value, `"`)
+			if !strings.Contains(string(doc), "-"+name) {
+				p := fset.Position(lit.Pos())
+				addf("%s:%d: flag -%s is not documented in EXPERIMENTS.md", p.Filename, p.Line, name)
+			}
+			return true
+		})
+	}
+	return nil
 }
 
 var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)

@@ -14,6 +14,7 @@
 //	hwdpbench -seed 7           # simulation seed for every unit (default 1)
 //	hwdpbench -threads 1,4      # restrict Fig. 13's thread sweep
 //	hwdpbench -j 8              # parallel run units (default GOMAXPROCS)
+//	hwdpbench -lanes 8          # parallel-in-run engine lanes per simulation
 //	hwdpbench -no-cache         # re-simulate even when a cached result exists
 //	hwdpbench -cache-dir DIR    # result cache location (default .hwdpcache)
 //	hwdpbench -run-timeout 15m  # per-unit wall-clock budget (0 disables)
@@ -59,6 +60,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed threaded through every experiment")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts for -fig 13")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max run units executing in parallel")
+	lanes := flag.Int("lanes", 1, "engine lanes per simulation (parallel-in-run; output is byte-identical across lane counts, see docs/ENGINE.md)")
 	noCache := flag.Bool("no-cache", false, "ignore and don't write the result cache")
 	cacheDir := flag.String("cache-dir", ".hwdpcache", "result cache directory")
 	runTimeout := flag.Duration("run-timeout", 15*time.Minute, "per-unit wall-clock budget (0 disables)")
@@ -76,6 +78,7 @@ func main() {
 		p = figures.Quick()
 	}
 	p.Seed = *seed
+	p.Lanes = *lanes
 	var threads []int
 	if *threadsFlag != "" {
 		for _, s := range strings.Split(*threadsFlag, ",") {
@@ -100,7 +103,7 @@ func main() {
 	}
 	var sel []sweep.Unit
 	if *bench {
-		sel = append(sel, benchUnit(*quick, *benchOut))
+		sel = append(sel, benchUnit(*quick, *lanes, *benchOut))
 	}
 	var campaignResults []campaign.Result
 	if *pressure {

@@ -57,7 +57,7 @@ func goldenStream(t *testing.T) []byte {
 // pipelines do arithmetic in single expressions where contraction is
 // allowed, so the cross-run check below is unconditional and the pinned
 // comparison is restricted to amd64.
-const goldenPin = "5ce212401f7090dc8e19789152b3e71f8104ce036d65cd98f8c8efd66501d1d8"
+const goldenPin = "cca3f1195c8c3155ebcb631a89a96b0adad71be74234a2360e053434d5ace1c0"
 
 func TestGoldenOutputPinned(t *testing.T) {
 	b1 := goldenStream(t)

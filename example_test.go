@@ -7,8 +7,9 @@ import (
 )
 
 // The simulation is fully deterministic, so these examples assert exact
-// latencies: one cold 4 KiB page miss on the Z-SSD profile costs 19.62 µs
-// through the OS fault path and 11.05 µs through the SMU.
+// latencies: one cold 4 KiB page miss on the Z-SSD profile costs 19.72 µs
+// through the OS fault path (doorbell and interrupt wire latencies
+// included) and 11.05 µs through the SMU.
 
 func Example_schemes() {
 	for _, scheme := range []hwdp.Scheme{hwdp.OSDP, hwdp.SWOnly, hwdp.HWDP} {
@@ -20,8 +21,8 @@ func Example_schemes() {
 		fmt.Printf("%-8v %v\n", scheme, lat)
 	}
 	// Output:
-	// OSDP     19.62us
-	// SW-only  12.90us
+	// OSDP     19.72us
+	// SW-only  13.00us
 	// HWDP     11.05us
 }
 

@@ -1,0 +1,150 @@
+// Package lanesafety rejects state-sharing patterns that are harmless on
+// the sequential engine but break the lane scheduler's isolation contract
+// (docs/ENGINE.md): under -lanes N, callbacks on different lanes run on
+// different goroutines within a round, so the only sound cross-lane
+// channels are Engine.Send/SendArg with a delay at or above the sender's
+// declared lookahead. The analyzer flags, in hot-path packages:
+//
+//   - writes to package-level variables from function bodies — a package
+//     var is reachable from every lane at once, so a write is a data race
+//     under -lanes N and a determinism hazard even when it happens to be
+//     race-free (lane scheduling must not influence observable state);
+//   - Engine.Send/SendArg with a constant zero delay — zero undercuts any
+//     positive lookahead floor, so the receiving lane may already have
+//     advanced past the arrival time (the group panics at delivery; the
+//     lint catches it at compile time);
+//   - sync primitives and channel operations in model packages (the sim
+//     package itself is exempt: the lane scheduler is the one place that
+//     legitimately owns goroutine coordination). Locks "fix" the race the
+//     first check exposes but reintroduce host-scheduling order into the
+//     model; cross-lane communication must be an engine send, which the
+//     group delivers in deterministic lane order.
+//
+// Initialization at declaration and in init functions is not flagged:
+// construction happens before the group starts rounds, on one goroutine.
+package lanesafety
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"hwdp/internal/analysis"
+)
+
+// Analyzer is the lanesafety check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lanesafety",
+	Doc: "forbid package-variable writes, zero-delay cross-lane sends, and " +
+		"sync/channel coordination in simulator model packages: state shared " +
+		"across engine lanes must flow through lookahead-respecting sends",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsHotPathPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	simItself := analysis.IsSimPkg(pass.Pkg.Path())
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inInit := fd.Recv == nil && fd.Name.Name == "init"
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					if !inInit {
+						for _, lhs := range n.Lhs {
+							checkPkgVarWrite(pass, lhs)
+						}
+					}
+				case *ast.IncDecStmt:
+					if !inInit {
+						checkPkgVarWrite(pass, n.X)
+					}
+				case *ast.CallExpr:
+					checkZeroDelaySend(pass, n)
+				case *ast.SendStmt:
+					if !simItself {
+						pass.Reportf(n.Pos(), "channel send in model code: under -lanes N this serializes on the host scheduler, not the virtual clock; hand the value across lanes with sim.Engine.SendArg instead")
+					}
+				case *ast.UnaryExpr:
+					if !simItself && n.Op.String() == "<-" {
+						pass.Reportf(n.Pos(), "channel receive in model code: under -lanes N this serializes on the host scheduler, not the virtual clock; hand the value across lanes with sim.Engine.SendArg instead")
+					}
+				case *ast.SelectorExpr:
+					if !simItself {
+						checkSyncUse(pass, n)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkPkgVarWrite flags an assignment target that resolves to a
+// package-level variable (of this or any other package).
+func checkPkgVarWrite(pass *analysis.Pass, lhs ast.Expr) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		// A selector write (x.f = ...) mutates an object reached through a
+		// pointer; lane ownership of objects is the components' contract,
+		// not statically checkable here. Only bare package vars are flagged.
+		return
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return
+	}
+	// Package-level variables are exactly those whose parent scope is the
+	// package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "write to package-level variable %s: package state is reachable from every engine lane at once (data race under -lanes N); move it onto a lane-owned component or initialize it at declaration", v.Name())
+}
+
+// checkZeroDelaySend flags Engine.Send/SendArg calls whose delay argument
+// is a compile-time zero.
+func checkZeroDelaySend(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || (fn.Name() != "Send" && fn.Name() != "SendArg") {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	path, name := analysis.NamedPathAndName(sig.Recv().Type())
+	if name != "Engine" || !analysis.IsSimPkg(path) {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[1]]
+	if !ok || tv.Value == nil {
+		return
+	}
+	if v, exact := constant.Int64Val(tv.Value); exact && v == 0 {
+		pass.Reportf(call.Args[1].Pos(), "cross-lane %s with zero delay: the receiving lane may already be past Now() (lookahead floor violated; the group panics at delivery) — every cross-lane send needs a positive model delay", fn.Name())
+	}
+}
+
+// checkSyncUse flags any use of a sync / sync-atomic object (type, func,
+// or method) inside a model-package function body.
+func checkSyncUse(pass *analysis.Pass, e *ast.SelectorExpr) {
+	obj := pass.TypesInfo.Uses[e.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	switch obj.Pkg().Path() {
+	case "sync", "sync/atomic":
+		pass.Reportf(e.Pos(), "%s.%s in model code: host-scheduler synchronization makes event outcomes depend on lane timing; coordinate across lanes with engine sends instead", obj.Pkg().Name(), obj.Name())
+	}
+}

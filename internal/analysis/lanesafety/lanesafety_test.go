@@ -1,0 +1,12 @@
+package lanesafety_test
+
+import (
+	"testing"
+
+	"hwdp/internal/analysis/analyzertest"
+	"hwdp/internal/analysis/lanesafety"
+)
+
+func TestLanesafety(t *testing.T) {
+	analyzertest.Run(t, "../testdata", "hwdp/internal/ssd", lanesafety.Analyzer)
+}

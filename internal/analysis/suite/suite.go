@@ -5,6 +5,7 @@ package suite
 import (
 	"hwdp/internal/analysis"
 	"hwdp/internal/analysis/eventcapture"
+	"hwdp/internal/analysis/lanesafety"
 	"hwdp/internal/analysis/poolpair"
 	"hwdp/internal/analysis/simdeterminism"
 	"hwdp/internal/analysis/simtime"
@@ -13,6 +14,7 @@ import (
 // Analyzers is the full hwdplint suite, in reporting order.
 var Analyzers = []*analysis.Analyzer{
 	simdeterminism.Analyzer,
+	lanesafety.Analyzer,
 	poolpair.Analyzer,
 	simtime.Analyzer,
 	eventcapture.Analyzer,

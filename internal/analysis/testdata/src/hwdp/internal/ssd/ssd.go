@@ -1,0 +1,83 @@
+// Package ssd is the lanesafety analyzer fixture: it lives at a hot-path
+// import path and exercises every rule, positive and negative.
+package ssd
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hwdp/internal/sim"
+)
+
+// ErrStub shows initialization at declaration is fine (a sentinel is
+// written once, before any lane exists).
+var ErrStub = "stub"
+
+// served is package state a lane-unsafe write below targets.
+var served uint64
+
+// registry is fixture package state written only from init (allowed).
+var registry map[string]int
+
+func init() {
+	registry = map[string]int{"a": 1} // construction precedes rounds: allowed
+}
+
+// Device is the fixture's lane-owned component; mutating its own fields
+// is the sanctioned pattern and must not be flagged.
+type Device struct {
+	eng    *sim.Engine
+	peer   *sim.Engine
+	served uint64
+	mu     sync.Mutex
+}
+
+func tick(any) {}
+
+func (d *Device) ownState() {
+	d.served++ // lane-owned field: fine
+}
+
+func (d *Device) globalState() {
+	served++ // want `write to package-level variable served`
+}
+
+func (d *Device) globalAssign() {
+	served = 7 // want `write to package-level variable served`
+}
+
+func (d *Device) goodSend() {
+	d.eng.SendArg(d.peer, sim.Microsecond, tick, nil) // positive delay: fine
+}
+
+func (d *Device) variableSend(delay sim.Time) {
+	d.eng.SendArg(d.peer, delay, tick, nil) // runtime delay: the group checks it
+}
+
+func (d *Device) zeroSend() {
+	d.eng.SendArg(d.peer, 0, tick, nil) // want `cross-lane SendArg with zero delay`
+}
+
+func (d *Device) zeroConstSend() {
+	const none sim.Time = 0
+	d.eng.Send(d.peer, none, func() {}) // want `cross-lane Send with zero delay`
+}
+
+func (d *Device) locked() {
+	d.mu.Lock()         // want `sync.Lock in model code`
+	defer d.mu.Unlock() // want `sync.Unlock in model code`
+	d.served++
+}
+
+func (d *Device) counted() {
+	atomic.AddUint64(&d.served, 1) // want `atomic.AddUint64 in model code`
+}
+
+func (d *Device) channelled(c chan int) {
+	c <- 1 // want `channel send in model code`
+	<-c    // want `channel receive in model code`
+}
+
+func (d *Device) suppressed() {
+	served++ //hwdp:ignore lanesafety fixture demonstrates a justified suppression
+}

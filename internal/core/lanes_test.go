@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"hwdp/internal/fault"
+	"hwdp/internal/fs"
+	"hwdp/internal/kernel"
+	"hwdp/internal/mmu"
+	"hwdp/internal/pagetable"
+)
+
+// laneRunDigest drives a miss-heavy multi-socket workload and renders every
+// determinism-sensitive counter into one string: SMU, device and kernel
+// stats plus the final clock. Two configurations that differ only in Lanes
+// must produce identical digests.
+func laneRunDigest(t *testing.T, lanes, sockets int) string {
+	t.Helper()
+	cfg := smallConfig(kernel.HWDP)
+	cfg.DeviceJitter = true // exercise the jittered (PRNG-coupled) path too
+	cfg.Sockets = sockets
+	cfg.Lanes = lanes
+	cfg.Seed = 11
+	s := NewSystem(cfg)
+	th := s.WorkloadThread(0)
+	vas := make([]pagetable.VAddr, sockets)
+	for sid := 0; sid < sockets; sid++ {
+		va, _, err := s.MapFileOn(sid, fmt.Sprintf("f%d", sid), 64, fs.SeededInit(uint64(sid+1)), s.FastFlags())
+		if err != nil {
+			t.Fatal(err)
+		}
+		vas[sid] = va
+	}
+	// Interleave cold misses across sockets so devices on different lanes
+	// are concurrently busy, then settle.
+	for page := 0; page < 64; page++ {
+		for sid := 0; sid < sockets; sid++ {
+			va := vas[sid] + pagetable.VAddr(page)*4096
+			var done bool
+			s.K.Access(th, va, false, func(mmu.Result) { done = true })
+			s.RunWhile(func() bool { return !done })
+			if !done {
+				t.Fatal("access hung")
+			}
+		}
+	}
+	s.RunFor(2000000000000) // 2 ms: background threads settle identically
+	out := fmt.Sprintf("clock=%d kernel=%+v", s.Eng.Now(), s.K.Stats())
+	for sid := 0; sid < sockets; sid++ {
+		out += fmt.Sprintf(" smu%d=%+v dev%d=%+v", sid, s.SMUs[sid].Stats(), sid, s.Devs[sid].Stats())
+	}
+	return out
+}
+
+// TestMultiSocketLaneEquivalence shards four devices across seven device
+// lanes plus home and checks the run is indistinguishable from sequential.
+func TestMultiSocketLaneEquivalence(t *testing.T) {
+	seq := laneRunDigest(t, 1, 4)
+	for _, lanes := range []int{2, 3, 8} {
+		if got := laneRunDigest(t, lanes, 4); got != seq {
+			t.Fatalf("lanes=%d diverged:\n got: %s\nwant: %s", lanes, got, seq)
+		}
+	}
+}
+
+// TestLaneGroupEngagesParallelRounds guards against the lane wiring
+// silently degrading to serial execution: a multi-socket run must actually
+// dispatch concurrent rounds and carry cross-lane traffic.
+func TestLaneGroupEngagesParallelRounds(t *testing.T) {
+	cfg := smallConfig(kernel.HWDP)
+	cfg.Sockets = 2
+	cfg.Lanes = 3
+	s := NewSystem(cfg)
+	if s.Grp == nil || s.Grp.Lanes() != 3 {
+		t.Fatalf("group = %v", s.Grp)
+	}
+	va, _, err := s.MapFileOn(1, "f", 32, nil, s.FastFlags())
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := s.WorkloadThread(0)
+	for page := 0; page < 32; page++ {
+		var done bool
+		s.K.Access(th, va+pagetable.VAddr(page)*4096, false, func(mmu.Result) { done = true })
+		s.RunWhile(func() bool { return !done })
+	}
+	st := s.Grp.Stats()
+	if st.CrossSends == 0 {
+		t.Fatal("no cross-lane traffic — devices not sharded")
+	}
+	if st.ParallelRounds == 0 {
+		t.Fatal("no parallel rounds — group degraded to serial")
+	}
+}
+
+// TestLaneClampAndFallback pins the wiring policy: lane counts clamp to
+// sockets+1, and incompatible features fall back to the sequential engine
+// rather than panicking.
+func TestLaneClampAndFallback(t *testing.T) {
+	cfg := smallConfig(kernel.HWDP)
+	cfg.Lanes = 8
+	s := NewSystem(cfg)
+	if s.Grp == nil || s.Grp.Lanes() != 2 {
+		t.Fatalf("single-socket lanes = %v, want clamp to 2", s.Grp)
+	}
+
+	cfg = smallConfig(kernel.HWDP)
+	cfg.Lanes = 8
+	cfg.TraceEnabled = true
+	if s = NewSystem(cfg); s.Grp != nil {
+		t.Fatal("tracing must fall back to the sequential engine")
+	}
+
+	cfg = smallConfig(kernel.HWDP)
+	cfg.Lanes = 8
+	cfg.FaultRules = []fault.Rule{{Kind: fault.Transient, Prob: 1}}
+	if s = NewSystem(cfg); s.Grp != nil {
+		t.Fatal("fault injection must fall back to the sequential engine")
+	}
+}

@@ -113,6 +113,16 @@ type Config struct {
 	// keeps the pre-existing behavior: exhausted allocations retry until
 	// writeback completions free memory.
 	OOMStallLimit sim.Time
+
+	// DoorbellWire is the host-to-device latency of an OS submission-queue
+	// doorbell write (MMIO post over PCIe), charged per delivered command
+	// on the evented transport. It also lower-bounds the home lane's
+	// cross-lane sends in parallel runs.
+	DoorbellWire sim.Time
+	// IRQWire is the device-to-host latency from CQ write to the interrupt
+	// handler starting (MSI-X delivery; the handler's own cost is
+	// Costs.InterruptDelivery, charged separately on the CPU).
+	IRQWire sim.Time
 }
 
 // DefaultConfig returns the configuration used by the evaluation.
@@ -129,6 +139,8 @@ func DefaultConfig(scheme Scheme) Config {
 		BlockRetries:      3,
 		BlockRetryDelay:   sim.Micro(20),
 		BlockTimeout:      10 * sim.Millisecond,
+		DoorbellWire:      sim.Nano(1.6),
+		IRQWire:           sim.Nano(100),
 	}
 }
 
@@ -619,7 +631,10 @@ func (k *Kernel) osQueueFor(st *storage, hw *cpu.HWThread) *osQueue {
 		st.nextQP++
 		q = &osQueue{qp: qp, st: st, pending: make(map[uint16]*osPending)}
 		st.qps[hw.ID] = q
-		st.dev.Attach(qp, func(cp nvme.Completion) { k.osInterrupt(q, cp) })
+		// Evented transport: completions cross back over the IRQ wire and
+		// the interrupt handler runs kernel-side — on the home lane in
+		// parallel runs.
+		st.dev.AttachLane(qp, k.eng, k.cfg.IRQWire, func(cp nvme.Completion) { k.osInterrupt(q, cp) })
 	}
 	return q
 }
@@ -658,7 +673,20 @@ func (k *Kernel) drainParked(q *osQueue) {
 		q.waitlist = q.waitlist[:len(q.waitlist)-1]
 		now := k.eng.Now()
 		k.psi.EndStall(metrics.StallSQFull, int64(now), int64(now-w.at))
-		q.st.dev.RingSQDoorbell(q.qp.ID)
+		k.ringOS(q)
+	}
+}
+
+// ringOS pops everything the host just submitted on an OS queue and puts it
+// on the doorbell wire — the evented replacement for RingSQDoorbell, with
+// the rings staying wholly host-owned.
+func (k *Kernel) ringOS(q *osQueue) {
+	for {
+		cmd, ok := q.qp.PopSQ()
+		if !ok {
+			return
+		}
+		q.st.dev.Deliver(q.qp.ID, cmd, k.cfg.DoorbellWire)
 	}
 }
 
@@ -724,7 +752,7 @@ func (k *Kernel) submitIO(st *storage, hw *cpu.HWThread, op nvme.Opcode, lba uin
 		q.waitlist = append(q.waitlist, sqWait{cmd: cmd, at: now})
 		return
 	}
-	st.dev.RingSQDoorbell(q.qp.ID)
+	k.ringOS(q)
 }
 
 // submitIORetry issues an I/O through submitIO and resubmits on retryable

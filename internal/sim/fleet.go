@@ -1,0 +1,146 @@
+package sim
+
+// Fleet-shaped lane benchmark model, shared by the package benchmarks
+// (lane_bench_test.go) and the hwdpbench -bench suite, so the number CI
+// tracks and the number `go test -bench` prints come from the same event
+// population.
+//
+// Each stream replays the event-time profile of one tenant machine running
+// the Fig-13 mixed workload (FIO/DBBench/YCSB at 2:1 dataset:memory): 16
+// concurrent miss pipelines, each cycling through six 200-400 ns CPU/SMU
+// phase events, one 9-11 µs media wait (Z-SSD reads dominate the mix) and
+// three 100-300 ns completion-handling events. Streams exchange
+// fleet-level rebalance notes every 64 completions with a 50-60 µs delay —
+// the multi-tenant shape from the ROADMAP's fleet-scale item, where
+// cross-domain lookahead is epoch-scale rather than doorbell-scale. The
+// stream count is fixed regardless of lane count, so every variant
+// simulates the identical event population and wall-clock ratios are pure
+// scheduler speedup.
+//
+// The full-system machine (core.Config.Lanes) syncs at the ns-scale
+// doorbell boundary instead, where rounds are too fine for wall-clock
+// gains; see docs/ENGINE.md for why the two shapes differ.
+
+const (
+	fleetStreams   = 8
+	fleetPipes     = 16
+	fleetRebalance = 64
+)
+
+// fleetStream is one tenant's event stream.
+type fleetStream struct {
+	eng    *Engine
+	peerE  *Engine      // next tenant's lane (ring)
+	peerS  *fleetStream // next tenant's stream state
+	lcg    uint64
+	hash   uint64 // FNV-style fold of this stream's fired-event times
+	comps  uint64 // completed pipeline cycles
+	rebal  uint64 // rebalance notes received
+	stepFn func(any)
+	noteFn func(any)
+}
+
+// fleetPipe is one in-flight miss pipeline of a stream.
+type fleetPipe struct {
+	st    *fleetStream
+	stage int
+}
+
+func (st *fleetStream) rand(span uint64) uint64 {
+	st.lcg = st.lcg*6364136223846793005 + 1442695040888963407
+	return (st.lcg >> 33) % span
+}
+
+func (st *fleetStream) mark() {
+	st.hash = st.hash*0x100000001b3 ^ uint64(st.eng.Now())
+}
+
+// step advances one pipeline through the fig13 stage mix.
+func (st *fleetStream) step(a any) {
+	p := a.(*fleetPipe)
+	st.mark()
+	var d Time
+	switch {
+	case p.stage < 6: // CPU/SMU phases: walk, PMSHR, doorbell, ...
+		d = Time(200_000 + st.rand(200_000)) // 200-400 ns
+	case p.stage == 6: // media wait
+		d = Time(9_000_000 + st.rand(2_000_000)) // 9-11 µs
+	default: // completion handling
+		d = Time(100_000 + st.rand(200_000)) // 100-300 ns
+	}
+	p.stage++
+	if p.stage == 10 {
+		p.stage = 0
+		st.comps++
+		if st.comps%fleetRebalance == 0 && st.peerE != nil {
+			// Fleet-level rebalance note to the ring neighbor; the 50 µs
+			// floor is the group's declared lookahead.
+			st.eng.SendArg(st.peerE, Time(50_000_000+st.rand(10_000_000)),
+				st.peerS.noteFn, nil)
+		}
+	}
+	st.eng.PostArg(d, st.stepFn, p)
+}
+
+func (st *fleetStream) note(any) {
+	st.mark()
+	st.rebal++
+}
+
+// FleetResult carries everything a caller needs to judge a fleet run:
+// throughput inputs (Fired), scheduler shape (Stats) and per-stream
+// determinism fingerprints (two runs at different lane counts must agree on
+// every slice element).
+type FleetResult struct {
+	Fired  uint64
+	Stats  GroupStats
+	Hashes []uint64 // per-stream FNV folds of fired-event times
+	Comps  []uint64 // per-stream completed pipeline cycles
+	Rebal  []uint64 // per-stream rebalance notes received
+}
+
+// buildFleet wires fleetStreams tenants onto a lane group (streams
+// round-robin across lanes; lanes=1 is the sequential baseline) and kicks
+// every pipeline off at staggered start times.
+func buildFleet(lanes int) (*Group, []*fleetStream) {
+	g := NewGroup(lanes)
+	for i := 0; i < lanes; i++ {
+		g.Lane(i).SetLookahead(Micro(50))
+	}
+	streams := make([]*fleetStream, fleetStreams)
+	for i := range streams {
+		st := &fleetStream{
+			eng: g.Lane(i % lanes),
+			lcg: uint64(i)*0x9e3779b97f4a7c15 + 0xdeadbeef,
+		}
+		st.stepFn = st.step
+		st.noteFn = st.note
+		streams[i] = st
+	}
+	for i, st := range streams {
+		next := streams[(i+1)%len(streams)]
+		st.peerE, st.peerS = next.eng, next
+	}
+	for i, st := range streams {
+		for p := 0; p < fleetPipes; p++ {
+			st.eng.AtArg(Time((i*fleetPipes+p)*37_000), st.stepFn, &fleetPipe{st: st})
+		}
+	}
+	return g, streams
+}
+
+// RunFleet drives the fleet-shaped event population for a fixed virtual
+// duration on the given lane count and returns the run's fingerprints.
+// Fixed inputs give byte-identical FleetResult fingerprints at every lane
+// count — that equivalence is what TestLaneBenchmarkDeterministic pins.
+func RunFleet(lanes int, virtual Time) FleetResult {
+	g, streams := buildFleet(lanes)
+	g.RunUntil(virtual)
+	res := FleetResult{Fired: g.Fired(), Stats: g.Stats()}
+	for _, st := range streams {
+		res.Hashes = append(res.Hashes, st.hash)
+		res.Comps = append(res.Comps, st.comps)
+		res.Rebal = append(res.Rebal, st.rebal)
+	}
+	return res
+}

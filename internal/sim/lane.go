@@ -1,0 +1,514 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// This file shards the discrete-event engine into per-component event
+// lanes: a Group couples N Engines (lane 0 is the "home" lane for
+// CPU/kernel events; further lanes host device domains) and runs them in
+// conservative-lookahead rounds. Within a round every lane fires only
+// events strictly below the round horizon, so lanes may execute on
+// separate goroutines without observing each other; cross-lane effects
+// travel as mailbox messages (Engine.Send/SendArg) that the coordinator
+// drains between rounds in a fixed, stable order. Fixed-seed output is
+// therefore byte-identical whether the group runs serially or in
+// parallel — the property the golden SHA-256 pin and the j1-vs-jN
+// equivalence tests enforce. See docs/ENGINE.md for the protocol.
+
+// xmsg is one buffered cross-lane send. Arrival time is fixed at send
+// time (src clock + delay); src and seq make the end-of-round merge a
+// strict total order: messages are delivered sorted by
+// (at, src lane, per-src send index).
+type xmsg struct {
+	at  Time
+	seq uint64
+	src int
+	fn  func()
+	afn func(any)
+	arg any
+}
+
+// GroupStats counts scheduler-level activity for reporting and tests. It
+// says nothing about model behavior; fixed-seed model output is identical
+// whatever these counters read.
+type GroupStats struct {
+	// Rounds is the total number of synchronization rounds executed.
+	Rounds uint64
+	// ParallelRounds counts rounds that dispatched two or more lanes to
+	// worker goroutines (the rest ran inline on the coordinator).
+	ParallelRounds uint64
+	// BucketRounds counts rounds that fell back to time-bucketed barrier
+	// execution because the lookahead horizon had collapsed onto the
+	// earliest pending timestamp.
+	BucketRounds uint64
+	// CrossSends is the number of mailbox messages delivered.
+	CrossSends uint64
+	// TieCrossSends counts delivered messages that shared an arrival
+	// timestamp with a message from a different source lane. Ties are
+	// broken by lane order, which a sequential engine cannot distinguish
+	// from any other order only if the model never relies on it; the
+	// equivalence tests assert this stays zero on the stock workloads.
+	TieCrossSends uint64
+}
+
+// Group couples per-lane engines and synchronizes them with conservative
+// lookahead. Construct with NewGroup, wire model components to the lane
+// engines (Lane), then drive the whole group with Run/RunUntil/RunWhile.
+// Methods on Group must be called from a single goroutine, and never from
+// inside an event callback.
+type Group struct {
+	lanes  []*Engine
+	serial bool
+	stats  GroupStats
+
+	// work/done carry round bounds to the per-lane worker goroutines and
+	// completions back. Workers exist only between startWorkers and
+	// stopWorkers, i.e. inside a top-level run call on a non-serial group.
+	work []chan Time
+	done chan int
+
+	// scratch is the reusable end-of-round merge buffer.
+	scratch []xmsg
+
+	// running guards against re-entrant run calls (e.g. from a callback).
+	running atomic.Bool
+}
+
+// NewGroup returns a group of n lanes (n >= 1). Lane 0 is the home lane.
+// Every lane starts with zero lookahead — always safe, but every round
+// degrades to a time-bucketed barrier; components must declare their real
+// cross-send floor with Engine.SetLookahead to unlock parallel windows.
+func NewGroup(n int) *Group {
+	if n < 1 {
+		panic("sim: NewGroup needs at least one lane")
+	}
+	g := &Group{done: make(chan int, n)}
+	g.lanes = make([]*Engine, n)
+	for i := range g.lanes {
+		e := NewEngine()
+		e.grp = g
+		e.lane = i
+		e.outbox = make([][]xmsg, n)
+		g.lanes[i] = e
+	}
+	return g
+}
+
+// Lanes returns the number of lanes in the group.
+func (g *Group) Lanes() int { return len(g.lanes) }
+
+// Lane returns the engine for lane i (0 is the home lane).
+func (g *Group) Lane(i int) *Engine { return g.lanes[i] }
+
+// Home returns the home lane's engine (lane 0).
+func (g *Group) Home() *Engine { return g.lanes[0] }
+
+// Stats returns a snapshot of the scheduler counters.
+func (g *Group) Stats() GroupStats { return g.stats }
+
+// SetSerial forces every round to execute inline on the calling goroutine
+// in lane order instead of on worker goroutines. The event schedule is
+// identical either way; serial mode exists for debugging and for the
+// equivalence tests that diff serial-vs-parallel event streams.
+func (g *Group) SetSerial(v bool) { g.serial = v }
+
+// Now returns the home lane's clock, which run calls keep aligned with
+// what a sequential engine would read (see runRounds).
+func (g *Group) Now() Time { return g.lanes[0].now }
+
+// Fired returns the total number of events executed across all lanes.
+func (g *Group) Fired() uint64 {
+	var n uint64
+	for _, ln := range g.lanes {
+		n += ln.fired
+	}
+	return n
+}
+
+// Pending returns the total number of queued events across all lanes,
+// including canceled events not yet collected.
+func (g *Group) Pending() int {
+	n := 0
+	for _, ln := range g.lanes {
+		n += len(ln.queue)
+	}
+	return n
+}
+
+// Send schedules fn on dst's lane after delay d of this engine's clock,
+// fire-and-forget. On the same engine it is exactly Post; across lanes it
+// buffers a mailbox message delivered at the end of the round. d must be
+// at least the sending lane's declared lookahead (SetLookahead) — a
+// shorter send is detected at delivery and panics, because events beyond
+// its arrival time may already have fired.
+func (e *Engine) Send(dst *Engine, d Time, fn func()) {
+	if dst == e {
+		e.Post(d, fn)
+		return
+	}
+	e.crossSend(dst, d, xmsg{fn: fn})
+}
+
+// SendArg is Send with a pre-bound callback and argument, mirroring
+// PostArg: same-engine sends stay on the zero-allocation pooled path.
+func (e *Engine) SendArg(dst *Engine, d Time, fn func(any), arg any) {
+	if dst == e {
+		e.PostArg(d, fn, arg)
+		return
+	}
+	e.crossSend(dst, d, xmsg{afn: fn, arg: arg})
+}
+
+// crossSend buffers m for dst in this lane's outbox.
+func (e *Engine) crossSend(dst *Engine, d Time, m xmsg) {
+	if e.grp == nil || dst.grp != e.grp {
+		panic("sim: cross-engine send between engines that do not share a Group")
+	}
+	if d < 0 {
+		d = 0
+	}
+	m.at = e.now + d
+	m.seq = e.obSeq
+	m.src = e.lane
+	e.obSeq++
+	e.outbox[dst.lane] = append(e.outbox[dst.lane], m)
+}
+
+// headAt returns the timestamp of this lane's earliest live event,
+// collecting dead heap roots on the way. ok is false when the queue is
+// empty.
+func (e *Engine) headAt() (at Time, ok bool) {
+	for len(e.queue) > 0 {
+		if e.queue[0].dead {
+			e.recycle(e.pop())
+			continue
+		}
+		return e.queue[0].at, true
+	}
+	return 0, false
+}
+
+// drainBelow fires every event with at < bound (including events the
+// fired callbacks schedule back under the bound).
+func (e *Engine) drainBelow(bound Time) {
+	for {
+		at, ok := e.headAt()
+		if !ok || at >= bound {
+			return
+		}
+		e.Step()
+	}
+}
+
+// drainBelowCond is drainBelow with the sequential RunWhile contract:
+// cond is evaluated before every fire and a false result stops the drain
+// immediately. Only the home lane uses it — cond reads home-lane state,
+// which no other lane may touch, so evaluating it while workers run is
+// race-free. Returns true when cond stopped the drain.
+func (e *Engine) drainBelowCond(bound Time, cond func() bool) bool {
+	for {
+		at, ok := e.headAt()
+		if !ok || at >= bound {
+			return false
+		}
+		if !cond() {
+			return true
+		}
+		e.Step()
+	}
+}
+
+// Run fires events on all lanes until every queue drains.
+func (g *Group) Run() { g.runRounds(Never, nil) }
+
+// RunUntil fires events until every queue drains or the group clock would
+// pass deadline; events exactly at deadline still fire. On return every
+// lane's clock reads what a single sequential engine's clock would: the
+// deadline when fully drained, otherwise the latest fired timestamp.
+func (g *Group) RunUntil(deadline Time) Time {
+	g.runRounds(deadline, nil)
+	end := deadline
+	if !g.drained() {
+		end = 0
+		for _, ln := range g.lanes {
+			if ln.now > end {
+				end = ln.now
+			}
+		}
+	}
+	for _, ln := range g.lanes {
+		if ln.now < end {
+			ln.now = end
+		}
+	}
+	return end
+}
+
+// RunWhile fires events for as long as cond returns true, checking cond
+// before every home-lane event exactly like a sequential
+// `for cond() && Step()` loop. Because cond may only read home-lane
+// state, and home-lane state changes only on home-lane events, the stop
+// point is bit-exact versus the sequential engine. Device lanes may have
+// advanced up to one round window past the stop time; their pending
+// events fire on the next run call, in the same order a sequential engine
+// would have fired them.
+func (g *Group) RunWhile(cond func() bool) {
+	if cond == nil {
+		panic("sim: RunWhile needs a condition")
+	}
+	g.runRounds(Never, cond)
+}
+
+// drained reports whether every lane's queue is empty of live events.
+func (g *Group) drained() bool {
+	for _, ln := range g.lanes {
+		if _, ok := ln.headAt(); ok {
+			return false
+		}
+	}
+	return true
+}
+
+// runRounds is the conservative-lookahead scheduler. Each round:
+//
+//  1. tmin = earliest pending event; H = min over non-empty lanes of
+//     (earliest event + declared lookahead). No lane can emit a
+//     cross-lane message arriving before H, so every event below H is
+//     safe to fire without hearing from other lanes.
+//  2. If H <= tmin (lookahead collapsed), fall back to a time-bucketed
+//     barrier round: fire only events at exactly tmin.
+//  3. Fire each active lane's window — inline when one lane is active or
+//     the group is serial, on worker goroutines otherwise.
+//  4. Deliver mailboxes in (arrival, src lane, send index) order and
+//     start over.
+//
+// deadline < 0 means none. cond, when set, applies the RunWhile contract
+// on the home lane.
+func (g *Group) runRounds(deadline Time, cond func() bool) {
+	if !g.running.CompareAndSwap(false, true) {
+		panic("sim: re-entrant Group run call")
+	}
+	defer g.running.Store(false)
+	if !g.serial && len(g.lanes) > 1 {
+		g.startWorkers()
+		defer g.stopWorkers()
+	}
+	for {
+		if cond != nil && !cond() {
+			return
+		}
+		tmin, horizon := g.roundBounds()
+		if tmin == Never || (deadline >= 0 && tmin > deadline) {
+			return
+		}
+		bound := horizon
+		if deadline >= 0 && bound > deadline+1 {
+			bound = deadline + 1
+		}
+		floor := bound // minimum legal arrival for this round's sends
+		bucket := bound <= tmin
+		if bucket {
+			bound = tmin + 1
+			floor = tmin
+			g.stats.BucketRounds++
+		}
+		g.stats.Rounds++
+		if g.fireRound(bound, cond) {
+			g.deliver(floor)
+			return
+		}
+		g.deliver(floor)
+	}
+}
+
+// roundBounds scans the lanes for the earliest pending event and the
+// conservative horizon. tmin is Never when every queue is empty.
+func (g *Group) roundBounds() (tmin, horizon Time) {
+	tmin, horizon = Never, Never
+	for _, ln := range g.lanes {
+		at, ok := ln.headAt()
+		if !ok {
+			continue
+		}
+		if tmin == Never || at < tmin {
+			tmin = at
+		}
+		h := at + ln.lookahead
+		if horizon == Never || h < horizon {
+			horizon = h
+		}
+	}
+	return tmin, horizon
+}
+
+// fireRound drains every active lane's [head, bound) window, returning
+// true when cond stopped the home lane. Workers receive their bound over
+// a channel and signal completion back, which also publishes their
+// outboxes to the coordinator (channel happens-before).
+func (g *Group) fireRound(bound Time, cond func() bool) (stopped bool) {
+	// Collect the active lanes: those with a live event below the bound.
+	homeActive := false
+	dispatched := 0
+	inline := g.work == nil
+	var only *Engine
+	for _, ln := range g.lanes {
+		at, ok := ln.headAt()
+		if !ok || at >= bound {
+			continue
+		}
+		if ln.lane == 0 {
+			homeActive = true
+			continue
+		}
+		if inline {
+			ln.drainBelow(bound)
+			continue
+		}
+		if only == nil && dispatched == 0 {
+			only = ln
+			continue
+		}
+		if only != nil {
+			// A second active lane: dispatch the deferred first one.
+			g.work[only.lane] <- bound
+			dispatched++
+			only = nil
+		}
+		g.work[ln.lane] <- bound
+		dispatched++
+	}
+	if only != nil && !homeActive {
+		// Single active device lane: run it inline, no handoff needed.
+		only.drainBelow(bound)
+		only = nil
+	}
+	if only != nil {
+		g.work[only.lane] <- bound
+		dispatched++
+	}
+	if homeActive {
+		if cond != nil {
+			stopped = g.lanes[0].drainBelowCond(bound, cond)
+		} else {
+			g.lanes[0].drainBelow(bound)
+		}
+	}
+	if dispatched > 0 {
+		if homeActive || dispatched > 1 {
+			g.stats.ParallelRounds++
+		}
+		for ; dispatched > 0; dispatched-- {
+			<-g.done
+		}
+	}
+	return stopped
+}
+
+// deliver merges every lane's outbox into the destination queues. For
+// each destination the pending messages are sorted by (arrival, src lane,
+// per-src send index) — a strict total order, so delivery is independent
+// of which goroutines ran the round. An arrival below the round floor is
+// a lookahead-protocol violation: events past it may already have fired,
+// so the error is unrecoverable by design and panics loudly rather than
+// silently corrupting determinism.
+func (g *Group) deliver(floor Time) {
+	for dst, dstLn := range g.lanes {
+		buf := g.scratch[:0]
+		for _, src := range g.lanes {
+			ob := src.outbox[dst]
+			if len(ob) == 0 {
+				continue
+			}
+			buf = append(buf, ob...)
+			for i := range ob {
+				ob[i] = xmsg{}
+			}
+			src.outbox[dst] = ob[:0]
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		sortXmsgs(buf)
+		for i := range buf {
+			m := &buf[i]
+			if m.at < floor {
+				panic(fmt.Sprintf(
+					"sim: lookahead violation: lane %d sent an event arriving at %v on lane %d, below the round floor %v; raise the send delay or lower the sender's SetLookahead",
+					m.src, m.at, dst, floor))
+			}
+			if i > 0 && buf[i-1].at == m.at && buf[i-1].src != m.src {
+				g.stats.TieCrossSends++
+			}
+			ev := dstLn.alloc()
+			ev.pooled = true
+			ev.fn = m.fn
+			ev.afn = m.afn
+			ev.arg = m.arg
+			dstLn.schedule(ev, m.at)
+		}
+		g.stats.CrossSends += uint64(len(buf))
+		for i := range buf {
+			buf[i] = xmsg{}
+		}
+		g.scratch = buf[:0]
+	}
+}
+
+// sortXmsgs orders messages by (at, src, seq) with insertion sort: round
+// mailboxes are nearly always tiny (a handful of doorbell/IRQ crossings),
+// and avoiding sort.Slice keeps the drain allocation-free.
+func sortXmsgs(ms []xmsg) {
+	for i := 1; i < len(ms); i++ {
+		m := ms[i]
+		j := i - 1
+		for j >= 0 && xmsgLess(m, ms[j]) {
+			ms[j+1] = ms[j]
+			j--
+		}
+		ms[j+1] = m
+	}
+}
+
+// xmsgLess is the strict total delivery order.
+func xmsgLess(a, b xmsg) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// startWorkers spawns one goroutine per non-home lane. The goroutines
+// exist only for the duration of one top-level run call: each blocks for
+// a round bound, drains its own lane below it, and reports back. A lane's
+// engine and outboxes are touched by exactly one goroutine at a time, and
+// the done-channel receive publishes all of a worker's writes to the
+// coordinator before the mailbox drain reads them.
+func (g *Group) startWorkers() {
+	g.work = make([]chan Time, len(g.lanes))
+	for i := 1; i < len(g.lanes); i++ {
+		ch := make(chan Time, 1)
+		g.work[i] = ch
+		ln := g.lanes[i]
+		//hwdp:ignore simdeterminism lane workers synchronize at round barriers; per-lane event order is single-threaded and the mailbox merge is a strict total order
+		go func() {
+			for b := range ch {
+				ln.drainBelow(b)
+				g.done <- ln.lane
+			}
+		}()
+	}
+}
+
+// stopWorkers shuts the worker goroutines down at the end of a run call,
+// so an idle group owns no goroutines and needs no Close.
+func (g *Group) stopWorkers() {
+	for i := 1; i < len(g.work); i++ {
+		close(g.work[i])
+	}
+	g.work = nil
+}

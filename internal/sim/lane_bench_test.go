@@ -1,0 +1,81 @@
+package sim
+
+// Lane-scheduler throughput benchmark on the Fig-13-shaped fleet model
+// (fleet.go; hwdpbench -bench runs the same population and records the
+// lanes variant as the sim_events_per_sec unit in BENCH_hwdp.json).
+//
+// Wall-clock speedup is bounded by min(lanes, GOMAXPROCS): the schedule
+// itself parallelizes fully (TestLaneBenchmarkDeterministic asserts every
+// round runs parallel at 8 lanes), but on a single hardware thread the
+// only gain left is the smaller per-lane heaps.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchmarkLaneFleet(b *testing.B, lanes int) {
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		events += RunFleet(lanes, Milli(5)).Fired
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "sim-events/s")
+}
+
+// BenchmarkLaneFig13Mix measures sim-events/s of the Fig-13 mixed event
+// population at 1, 2, 4 and 8 lanes.
+func BenchmarkLaneFig13Mix(b *testing.B) {
+	for _, lanes := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("lanes=%d", lanes), func(b *testing.B) {
+			benchmarkLaneFleet(b, lanes)
+		})
+	}
+}
+
+// TestLaneBenchmarkDeterministic is the Test wrapper for the lane bench
+// (PR 3 convention: every bench model gets a correctness wrapper): the
+// same stream population must produce identical per-stream event-time
+// hashes and counters at every lane count, and must actually run rounds in
+// parallel at 8 lanes.
+func TestLaneBenchmarkDeterministic(t *testing.T) {
+	virtual := Milli(2)
+	seq := RunFleet(1, virtual)
+	if seq.Fired == 0 {
+		t.Fatal("benchmark model fired no events")
+	}
+	for _, lanes := range []int{2, 8} {
+		res := RunFleet(lanes, virtual)
+		if res.Fired != seq.Fired {
+			t.Fatalf("lanes=%d fired %d events, sequential fired %d", lanes, res.Fired, seq.Fired)
+		}
+		for i := range res.Hashes {
+			if res.Hashes[i] != seq.Hashes[i] || res.Comps[i] != seq.Comps[i] || res.Rebal[i] != seq.Rebal[i] {
+				t.Fatalf("lanes=%d stream %d diverged: hash %x/%x comps %d/%d rebal %d/%d",
+					lanes, i, res.Hashes[i], seq.Hashes[i], res.Comps[i], seq.Comps[i], res.Rebal[i], seq.Rebal[i])
+			}
+		}
+		if lanes == 8 {
+			if res.Stats.ParallelRounds == 0 || res.Stats.CrossSends == 0 {
+				t.Fatalf("8-lane run did not parallelize: %+v", res.Stats)
+			}
+		}
+	}
+}
+
+// TestLaneBenchmarkRebalancesFlow asserts the cross-lane path of the bench
+// model carries real traffic (a silent misroute would turn the benchmark
+// into an embarrassingly-parallel lie).
+func TestLaneBenchmarkRebalancesFlow(t *testing.T) {
+	res := RunFleet(8, Milli(5))
+	var rebal uint64
+	for _, n := range res.Rebal {
+		rebal += n
+	}
+	if rebal == 0 {
+		t.Fatal("no rebalance notes delivered")
+	}
+	if res.Stats.CrossSends < rebal {
+		t.Fatalf("group counted %d cross sends for %d delivered notes", res.Stats.CrossSends, rebal)
+	}
+}

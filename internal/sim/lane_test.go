@@ -1,0 +1,377 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+// laneRecorder hashes one lane's fired-event stream: (lane, at) per event.
+// Two runs whose recorders agree on every lane executed the same events at
+// the same times in the same per-lane order.
+type laneRecorder struct {
+	lane int
+	h    []byte
+	n    int
+}
+
+func recordLanes(g *Group) []*laneRecorder {
+	recs := make([]*laneRecorder, g.Lanes())
+	for i := range recs {
+		r := &laneRecorder{lane: i}
+		recs[i] = r
+		var buf [8]byte
+		sum := sha256.New()
+		g.Lane(i).SetObserver(func(at Time) {
+			binary.LittleEndian.PutUint64(buf[:], uint64(at))
+			sum.Write(buf[:])
+			r.n++
+			r.h = sum.Sum(r.h[:0])
+		})
+	}
+	return recs
+}
+
+func fingerprint(recs []*laneRecorder) string {
+	s := ""
+	for _, r := range recs {
+		s += fmt.Sprintf("lane%d:%d:%x;", r.lane, r.n, r.h)
+	}
+	return s
+}
+
+// pingPong wires a deterministic two-lane model: lane 0 sends a token to
+// lane 1 with delay d01, lane 1 does local work then sends it back with
+// delay d10, n times. Returns the slice that accumulates (lane, time)
+// marks — identical content and order is the correctness bar.
+func pingPong(a, b *Engine, d01, d10 Time, n int, marks *[]string) {
+	var ping, pong func()
+	i := 0
+	ping = func() {
+		*marks = append(*marks, fmt.Sprintf("a@%v", a.Now()))
+		if i >= n {
+			return
+		}
+		i++
+		a.Send(b, d01, pong)
+	}
+	pong = func() {
+		*marks = append(*marks, fmt.Sprintf("b@%v", b.Now()))
+		// Local work on lane b before replying.
+		b.Post(1*Nanosecond, func() {
+			b.Send(a, d10, ping)
+		})
+	}
+	a.PostAt(0, ping)
+}
+
+func TestGroupPingPongMatchesSequential(t *testing.T) {
+	const n = 50
+	d01, d10 := 5*Nanosecond, 7*Nanosecond
+
+	// Reference: both endpoints on one standalone engine (Send degrades to
+	// Post when src == dst, so the same wiring runs sequentially).
+	seq := NewEngine()
+	var want []string
+	pingPong(seq, seq, d01, d10, n, &want)
+	seq.Run()
+
+	for _, serial := range []bool{true, false} {
+		g := NewGroup(2)
+		g.SetSerial(serial)
+		g.Lane(0).SetLookahead(d01)
+		g.Lane(1).SetLookahead(d10)
+		var got []string
+		// marks is appended from two goroutines in parallel mode — but
+		// never concurrently: lane a marks only while lane b is idle at a
+		// barrier and vice versa (the token alternates). The race detector
+		// double-checks that claim.
+		pingPong(g.Lane(0), g.Lane(1), d01, d10, n, &got)
+		g.Run()
+		if len(got) != len(want) {
+			t.Fatalf("serial=%v: %d marks, want %d", serial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("serial=%v: mark %d = %q, want %q", serial, i, got[i], want[i])
+			}
+		}
+		if got := g.Stats().TieCrossSends; got != 0 {
+			t.Fatalf("serial=%v: TieCrossSends = %d, want 0", serial, got)
+		}
+	}
+}
+
+func TestBucketFallbackZeroLookahead(t *testing.T) {
+	// Zero declared lookahead and zero-delay sends: every round must
+	// degrade to a time-bucketed barrier, and a same-timestamp cross-lane
+	// chain must still run to completion without time advancing.
+	g := NewGroup(2)
+	count := 0
+	var step func()
+	step = func() {
+		me, other := g.Lane(count%2), g.Lane((count+1)%2)
+		count++
+		if count >= 10 {
+			return
+		}
+		me.Send(other, 0, step)
+	}
+	g.Lane(0).PostAt(100, step)
+	g.Run()
+	if count != 10 {
+		t.Fatalf("chain ran %d steps, want 10", count)
+	}
+	if now := g.Now(); now != 100 {
+		t.Fatalf("home clock = %v, want 100ps (chain is same-timestamp)", now)
+	}
+	st := g.Stats()
+	if st.BucketRounds == 0 {
+		t.Fatalf("expected bucket rounds with zero lookahead, stats = %+v", st)
+	}
+	if st.Rounds != st.BucketRounds {
+		t.Fatalf("every round should have been a bucket round: %+v", st)
+	}
+}
+
+func TestBucketFallbackOnCollapsedHorizon(t *testing.T) {
+	// One lane declares generous lookahead, the other zero: the horizon
+	// collapses onto tmin whenever the zero-lookahead lane has the
+	// earliest event, and the group must fall back rather than deadlock
+	// or mis-deliver.
+	g := NewGroup(2)
+	g.Lane(0).SetLookahead(10 * Nanosecond)
+	// Lane 1 keeps the default zero lookahead and sends with zero delay.
+	fired := 0
+	g.Lane(1).PostAt(5, func() {
+		g.Lane(1).Send(g.Lane(0), 0, func() { fired++ })
+	})
+	g.Lane(0).PostAt(5, func() {})
+	g.Run()
+	if fired != 1 {
+		t.Fatalf("cross event fired %d times, want 1", fired)
+	}
+	if st := g.Stats(); st.BucketRounds == 0 {
+		t.Fatalf("expected a bucket round, stats = %+v", st)
+	}
+}
+
+func TestLookaheadViolationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected a lookahead-violation panic")
+		}
+	}()
+	g := NewGroup(2)
+	g.SetSerial(true)
+	g.Lane(0).SetLookahead(5 * Nanosecond)
+	g.Lane(1).SetLookahead(5 * Nanosecond)
+	// Both lanes have events at t=0, so the horizon is 5ns and both fire
+	// their full window. Lane 1's send with delay 1ns < lookahead arrives
+	// inside the window lane 0 already executed — the unrecoverable case
+	// the delivery check must catch.
+	g.Lane(0).PostAt(0, func() {})
+	g.Lane(1).PostAt(0, func() {
+		g.Lane(1).Send(g.Lane(0), 1*Nanosecond, func() {})
+	})
+	g.Run()
+}
+
+func TestSendAcrossUngroupedEnginesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected a panic for a cross-engine send outside a group")
+		}
+	}()
+	a, b := NewEngine(), NewEngine()
+	a.Send(b, 0, func() {})
+}
+
+// synthLaneLoad drives lanes with a seeded mixed load: dense local event
+// chains plus cross-lane sends at or above the declared lookahead, with
+// all scheduling decisions derived from a deterministic LCG. It is the
+// j1-vs-jN workhorse: any scheduling nondeterminism shows up as a
+// fingerprint mismatch.
+func synthLaneLoad(g *Group, la Time, events int) {
+	for i := 0; i < g.Lanes(); i++ {
+		g.Lane(i).SetLookahead(la)
+		ln := g.Lane(i)
+		state := uint64(i*2654435761 + 12345)
+		next := func() uint64 {
+			state = state*6364136223846793005 + 1442695040888963407
+			return state >> 33
+		}
+		remaining := events
+		var chain func()
+		chain = func() {
+			if remaining == 0 {
+				return
+			}
+			remaining--
+			r := next()
+			if r%8 == 0 {
+				dst := g.Lane(int(r/8) % g.Lanes())
+				d := la + Time(r%1000)
+				ln.Send(dst, d, func() {})
+			}
+			ln.Post(Time(1+r%200), chain)
+		}
+		ln.PostAt(Time(i), chain)
+	}
+}
+
+func TestSerialParallelStreamsIdentical(t *testing.T) {
+	const lanes, events = 8, 400
+	la := 100 * Nanosecond
+
+	run := func(serial bool) (string, GroupStats) {
+		g := NewGroup(lanes)
+		g.SetSerial(serial)
+		recs := recordLanes(g)
+		synthLaneLoad(g, la, events)
+		g.Run()
+		return fingerprint(recs), g.Stats()
+	}
+	serialFP, _ := run(true)
+	parallelFP, pst := run(false)
+	if serialFP != parallelFP {
+		t.Fatalf("per-lane event streams diverge between serial and parallel rounds:\nserial:   %s\nparallel: %s", serialFP, parallelFP)
+	}
+	if pst.ParallelRounds == 0 {
+		t.Fatalf("parallel run dispatched no parallel rounds: %+v", pst)
+	}
+}
+
+func TestGroupRunUntilClockSemantics(t *testing.T) {
+	// Drained before the deadline: every lane's clock lands exactly on
+	// the deadline, like a sequential engine's.
+	g := NewGroup(3)
+	g.Lane(1).PostAt(10, func() {})
+	g.RunUntil(1000)
+	for i := 0; i < g.Lanes(); i++ {
+		if now := g.Lane(i).Now(); now != 1000 {
+			t.Fatalf("drained: lane %d clock = %v, want 1000", i, now)
+		}
+	}
+
+	// Events remain past the deadline: the clock reads the latest fired
+	// timestamp, and the survivors fire on the next call.
+	g = NewGroup(2)
+	fired := 0
+	g.Lane(1).PostAt(10, func() { fired++ })
+	g.Lane(1).PostAt(5000, func() { fired++ })
+	end := g.RunUntil(1000)
+	if end != 10 || fired != 1 {
+		t.Fatalf("RunUntil = %v (fired %d), want 10ps with 1 fired", end, fired)
+	}
+	if now := g.Lane(0).Now(); now != 10 {
+		t.Fatalf("home clock = %v, want 10 (aligned to latest fired)", now)
+	}
+	g.RunUntil(5000)
+	if fired != 2 {
+		t.Fatalf("survivor did not fire on the next RunUntil")
+	}
+}
+
+func TestGroupRunWhileStopsAtHomeEvent(t *testing.T) {
+	// cond flips when the third home event fires; the home clock must
+	// stop exactly there even though later home events are pending.
+	g := NewGroup(2)
+	g.Lane(0).SetLookahead(Nanosecond)
+	g.Lane(1).SetLookahead(Nanosecond)
+	homeFired := 0
+	for i := 1; i <= 6; i++ {
+		g.Lane(0).PostAt(Time(i*100), func() { homeFired++ })
+	}
+	// Device-lane noise inside the same windows.
+	for i := 1; i <= 6; i++ {
+		g.Lane(1).PostAt(Time(i*100+50), func() {})
+	}
+	g.RunWhile(func() bool { return homeFired < 3 })
+	if homeFired != 3 {
+		t.Fatalf("home fired %d events, want exactly 3", homeFired)
+	}
+	if now := g.Now(); now != 300 {
+		t.Fatalf("home clock = %v, want 300 (the flipping event)", now)
+	}
+	// The remaining home events fire on the next run call.
+	g.Run()
+	if homeFired != 6 {
+		t.Fatalf("home fired %d events after drain, want 6", homeFired)
+	}
+}
+
+func TestTieCrossSendCounter(t *testing.T) {
+	// Two source lanes send to lane 0 with arrivals at the same
+	// timestamp: delivery order is lane order and the tie counter
+	// records the ambiguity.
+	var order []int
+	g := NewGroup(3)
+	g.SetSerial(true)
+	for i := 1; i <= 2; i++ {
+		i := i
+		ln := g.Lane(i)
+		ln.PostAt(0, func() {
+			ln.Send(g.Lane(0), 10*Nanosecond, func() { order = append(order, i) })
+		})
+	}
+	g.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("tie delivery order = %v, want [1 2] (lane order)", order)
+	}
+	if ties := g.Stats().TieCrossSends; ties != 1 {
+		t.Fatalf("TieCrossSends = %d, want 1", ties)
+	}
+}
+
+func TestSendSameEngineIsPost(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.PostAt(0, func() {
+		e.Send(e, 10, func() { order = append(order, "send") })
+		e.Post(10, func() { order = append(order, "post") })
+		e.SendArg(e, 10, func(a any) { order = append(order, a.(string)) }, "sendarg")
+	})
+	e.Run()
+	want := []string{"send", "post", "sendarg"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v (same-engine Send must keep Post's FIFO tie-break)", order, want)
+		}
+	}
+}
+
+func TestHomeOnlyRoundsStayInline(t *testing.T) {
+	// A group whose device lanes are idle must never dispatch to workers:
+	// -lanes N with a cold device is the common case and must not pay
+	// synchronization for it.
+	g := NewGroup(4)
+	n := 0
+	var chain func()
+	chain = func() {
+		n++
+		if n < 1000 {
+			g.Lane(0).Post(10, chain)
+		}
+	}
+	g.Lane(0).PostAt(0, chain)
+	g.Run()
+	if n != 1000 {
+		t.Fatalf("ran %d events, want 1000", n)
+	}
+	if st := g.Stats(); st.ParallelRounds != 0 {
+		t.Fatalf("home-only run used parallel rounds: %+v", st)
+	}
+}
+
+func TestGroupReentrantRunPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected a panic for a re-entrant run call")
+		}
+	}()
+	g := NewGroup(1)
+	g.Lane(0).PostAt(0, func() { g.Run() })
+	g.Run()
+}

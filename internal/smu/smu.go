@@ -208,7 +208,6 @@ type SMU struct {
 	issueFn    func(any)
 	doorbellFn func(any)
 	timeoutFn  func(any)
-	cqHandleFn func(any)
 	ptUpdateFn func(any)
 	notifyFn   func(any)
 	anonFillFn func(any)
@@ -278,15 +277,14 @@ func NewPerCore(eng *sim.Engine, sid uint8, freeQueueDepth, entries, cores int) 
 	}
 	s.issueFn = func(a any) { s.issue(a.(*pmshrEntry)) }
 	s.doorbellFn = func(a any) {
-		e := a.(*pmshrEntry)
-		e.dev.dev.RingSQDoorbell(e.dev.qp.ID)
-		// Opportunistically refill the prefetch buffer during the device
-		// I/O time — this is what hides the memory latency of free-page
-		// fetches.
-		s.queueFor(e.req.Core).Prefetch()
+		// The command itself is already crossing the doorbell wire (issue
+		// hands it to Device.Deliver); this stage models the SMU-side tail
+		// of the doorbell write. Opportunistically refill the prefetch
+		// buffer during the device I/O time — this is what hides the memory
+		// latency of free-page fetches.
+		s.queueFor(a.(*pmshrEntry).req.Core).Prefetch()
 	}
 	s.timeoutFn = func(a any) { s.onTimeout(a.(*pmshrEntry)) }
-	s.cqHandleFn = func(a any) { s.cqHandle(a.(*devSlot)) }
 	s.ptUpdateFn = func(a any) { s.ptUpdate(a.(*pmshrEntry)) }
 	s.notifyFn = func(a any) {
 		e := a.(*pmshrEntry)
@@ -493,7 +491,14 @@ func (s *SMU) AttachDevice(devID uint8, dev *ssd.Device, qp *nvme.QueuePair, nsi
 	qp.InterruptsEnabled = false
 	slot := &devSlot{qp: qp, dev: dev, nsid: nsid}
 	s.devs[devID] = slot
-	dev.Attach(qp, func(cp nvme.Completion) { s.onSnoop(slot, cp) })
+	// Evented transport: the CQ write plus the completion unit's
+	// protocol-handling latency ride the wire as the attachment's irq, so
+	// the notify callback runs at what used to be the post-snoop handle
+	// time — possibly on a different lane than the device.
+	dev.AttachLane(qp, s.eng, s.timing.CQHandle, func(cp nvme.Completion) {
+		s.trace("CQ handle", s.timing.CQHandle)
+		s.cqHandle(slot)
+	})
 }
 
 func (s *SMU) trace(phase string, dur sim.Time) {
@@ -641,6 +646,15 @@ func (s *SMU) issue(e *pmshrEntry) {
 	t := s.timing
 	now := s.eng.Now()
 	e.req.Trace.AddSpan(trace.LayerNVMe, "sq-doorbell", now, now+t.Doorbell)
+	// The host side owns the rings on the evented transport: pop the entry
+	// just submitted and put it on the doorbell wire. Deliver before the
+	// doorbell-tail stage so device service keeps its legacy ordering
+	// (service, then prefetch) when both land on the same timestamp.
+	wcmd, ok := e.dev.qp.PopSQ()
+	if !ok {
+		panic("smu: submitted command missing from SQ")
+	}
+	e.dev.dev.Deliver(e.dev.qp.ID, wcmd, t.Doorbell)
 	s.eng.PostArg(t.Doorbell, s.doorbellFn, e)
 	if s.policy.CmdTimeout > 0 {
 		// Pooled handle: onTimeout nils e.timeout as its first action and
@@ -747,15 +761,11 @@ func (s *SMU) anonFill(e *pmshrEntry) {
 	s.queueFor(core).Prefetch()
 }
 
-// onSnoop is the completion unit: it watches memory writes from the PCIe
-// root complex at CQ base + head, and after the protocol-handling latency
-// runs cqHandle.
-func (s *SMU) onSnoop(dev *devSlot, _ nvme.Completion) {
-	s.trace("CQ handle", s.timing.CQHandle)
-	s.eng.PostArg(s.timing.CQHandle, s.cqHandleFn, dev)
-}
-
-// cqHandle handles the CQ protocol, updates the page table and broadcasts.
+// cqHandle is the completion unit: the memory-write snoop of the CQ entry
+// plus the protocol-handling latency arrive together over the attachment's
+// completion wire (AttachLane's irq), so by the time this runs the CQ entry
+// is visible and CQHandle has elapsed. It updates the page table and
+// broadcasts.
 func (s *SMU) cqHandle(dev *devSlot) {
 	t := s.timing
 	// The snoop that scheduled us fired exactly CQHandle ago.
