@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-short bench-go sweep-check chaos-short engine-check docs-check fmt lint check
+.PHONY: all build test race bench bench-short bench-go sweep-check chaos-short engine-check ssd-check docs-check fmt lint check
 
 all: build test
 
@@ -55,6 +55,16 @@ ENGINE_TESTS = Lane|Group|Bucket|Lookahead|TieCross|SerialParallel
 engine-check:
 	$(GO) test -run '$(ENGINE_TESTS)' ./internal/sim ./internal/core .
 	$(GO) test -race -run '$(ENGINE_TESTS)' ./internal/sim ./internal/core .
+
+# ssd-check runs the modeled-SSD battery: the FTL/GC conservation
+# property tests and checked-in fuzz seed corpora, the lanes-1-vs-8
+# byte-equivalence pin, and the steady-state/GC-tail direction
+# regressions — then repeats everything under the race detector. See
+# docs/SSD.md.
+SSD_TESTS = GCConservation|Precondition|Unmapped|WriteBuffer|Flush|Deterministic|MinLatency|Victim|Fuzz|ModeledSSD|ModeledBackend|SSDSteadyState|GCTailAblation|FingerprintCoversSSD
+ssd-check:
+	$(GO) test -run '$(SSD_TESTS)' ./internal/ssd/... ./internal/core ./internal/figures
+	$(GO) test -race -run '$(SSD_TESTS)' ./internal/ssd/... ./internal/core ./internal/figures
 
 fmt:
 	gofmt -w .

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	hwdpbench -fig 1|2|3|4|11|12|13|14|15|16|17|kpoold|pmshr|devices|prefetch
+//	hwdpbench -fig 1|2|3|4|11|12|13|14|15|16|17|kpoold|pmshr|devices|prefetch|ssd|gctail
 //	hwdpbench -table 1|2|area
 //	hwdpbench -all
 //	hwdpbench -quick            # reduced op counts
@@ -16,6 +16,9 @@
 //	hwdpbench -j 8              # parallel run units (default GOMAXPROCS)
 //	hwdpbench -lanes 8          # parallel-in-run engine lanes per simulation
 //	hwdpbench -no-cache         # re-simulate even when a cached result exists
+//	hwdpbench -ssd modeled      # FTL/GC media model for every unit (default profile)
+//	hwdpbench -ssd-fill 0.8     # modeled preconditioning: fraction of LBAs filled
+//	hwdpbench -ssd-churn 2      # modeled preconditioning: overwrite churn multiple
 //	hwdpbench -cache-dir DIR    # result cache location (default .hwdpcache)
 //	hwdpbench -run-timeout 15m  # per-unit wall-clock budget (0 disables)
 //	hwdpbench -sweep-out f.json # sweep manifest path (default SWEEP_hwdp.json)
@@ -62,6 +65,9 @@ func main() {
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max run units executing in parallel")
 	lanes := flag.Int("lanes", 1, "engine lanes per simulation (parallel-in-run; output is byte-identical across lane counts, see docs/ENGINE.md)")
 	noCache := flag.Bool("no-cache", false, "ignore and don't write the result cache")
+	ssdBackend := flag.String("ssd", "profile", "SSD media backend for figure units: profile or modeled (FTL + GC + plane parallelism, docs/SSD.md)")
+	ssdFill := flag.Float64("ssd-fill", 0, "modeled-backend preconditioning fill fraction (0 = backend default of 1)")
+	ssdChurn := flag.Float64("ssd-churn", 0, "modeled-backend preconditioning churn, in multiples of the filled capacity (0 = fresh drive)")
 	cacheDir := flag.String("cache-dir", ".hwdpcache", "result cache directory")
 	runTimeout := flag.Duration("run-timeout", 15*time.Minute, "per-unit wall-clock budget (0 disables)")
 	sweepOut := flag.String("sweep-out", "SWEEP_hwdp.json", "sweep manifest path")
@@ -79,6 +85,9 @@ func main() {
 	}
 	p.Seed = *seed
 	p.Lanes = *lanes
+	p.SSDBackend = *ssdBackend
+	p.SSDFill = *ssdFill
+	p.SSDChurn = *ssdChurn
 	var threads []int
 	if *threadsFlag != "" {
 		for _, s := range strings.Split(*threadsFlag, ",") {
@@ -92,7 +101,7 @@ func main() {
 
 	ran := false
 	if *breakdown || *tracePath != "" {
-		traceSweep(*quick, *breakdown, *tracePath)
+		traceSweep(*quick, *breakdown, *tracePath, p)
 		ran = true
 	}
 
@@ -208,8 +217,11 @@ func runSweep(sel []sweep.Unit, jobs int, noCache bool, cacheDir string, runTime
 // traceSweep runs the same cold FIO workload under all three paging
 // schemes with the observability tracer enabled, prints the per-layer
 // critical-path attribution for each (when report is set), and optionally
-// writes a combined Chrome trace with one process per scheme.
-func traceSweep(quick, report bool, tracePath string) {
+// writes a combined Chrome trace with one process per scheme. The -ssd
+// flags apply here too, so `-breakdown -ssd modeled` attributes mapping
+// fetches, buffer stalls and plane waits alongside the profile backend's
+// channel waits.
+func traceSweep(quick, report bool, tracePath string, p figures.Params) {
 	ops, warm := 2000, 200
 	if quick {
 		ops, warm = 500, 100
@@ -226,6 +238,7 @@ func traceSweep(quick, report bool, tracePath string) {
 		cfg.Seed = 1
 		cfg.FSBlocks = filePages + (1 << 16)
 		cfg.TraceEnabled = true
+		p.ApplySSD(&cfg)
 		sys := core.NewSystem(cfg)
 		fio, err := workload.SetupFIO(sys, "fio.dat", filePages, sys.FastFlags())
 		if err != nil {

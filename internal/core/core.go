@@ -19,6 +19,7 @@ import (
 	"hwdp/internal/sim"
 	"hwdp/internal/smu"
 	"hwdp/internal/ssd"
+	"hwdp/internal/ssd/modeled"
 	"hwdp/internal/trace"
 )
 
@@ -100,6 +101,18 @@ type Config struct {
 	// watchdog events only matter when a command is lost, which requires
 	// fault injection).
 	Lanes int
+	// SSDBackend selects the device media model: "" or "profile" keeps
+	// the latency-profile backend (byte-identical to historical runs);
+	// "modeled" swaps in internal/ssd/modeled — a page-mapping FTL with a
+	// bounded mapping cache, garbage collection over an over-provisioned
+	// flash array, channel/way/plane parallelism and a DRAM write buffer.
+	// See docs/SSD.md.
+	SSDBackend string
+	// SSDModeled tunes the modeled backend; zero fields are derived from
+	// Device. Only read when SSDBackend is "modeled". FillFrac and
+	// ChurnOverwrites are the preconditioning knobs (fresh vs
+	// steady-state drive).
+	SSDModeled modeled.Config
 }
 
 // DefaultConfig mirrors the evaluation setup (Table II) at simulation
@@ -143,9 +156,12 @@ type System struct {
 	SMUs []*smu.SMU
 	Devs []*ssd.Device
 	FSs  []*fs.FS
-	K    *kernel.Kernel
-	Proc *kernel.Process
-	Rng  *sim.Rand
+	// ModeledSSDs holds each socket's FTL/GC model when
+	// Config.SSDBackend is "modeled" (index = socket), nil otherwise.
+	ModeledSSDs []*modeled.Model
+	K           *kernel.Kernel
+	Proc        *kernel.Process
+	Rng         *sim.Rand
 	// Trace is the observability tracer, nil unless Config.TraceEnabled.
 	Trace *trace.Tracer
 }
@@ -218,10 +234,16 @@ func NewSystem(cfg Config) *System {
 
 	kcfg := cfg.Kernel
 	kcfg.Scheme = cfg.Scheme
-	if grp != nil {
-		// Abort-driven watchdogs are the one path that reaches across the
-		// doorbell boundary synchronously; disarm them (output-neutral
-		// without fault injection, which lane mode excludes).
+	// Abort-driven watchdogs are disarmed in two cases, so the decision is
+	// identical at every lane count: lane mode (aborts reach across the
+	// doorbell boundary synchronously; output-neutral without fault
+	// injection, which lane mode excludes), and the modeled backend
+	// without fault injection (its GC stalls legitimately exceed the
+	// default 10 ms BlockTimeout, and a command behind a relocation convoy
+	// is slow, not lost — aborting it just re-queues into the same stall).
+	disarmWatchdogs := grp != nil ||
+		(cfg.SSDBackend == "modeled" && len(cfg.FaultRules) == 0)
+	if disarmWatchdogs {
 		kcfg.BlockTimeout = 0
 	}
 	// Background kernel threads ride the SMT siblings of the last cores,
@@ -260,13 +282,27 @@ func NewSystem(cfg Config) *System {
 			}
 		})
 		dev.AddNamespace(nvme.Namespace{ID: uint32(sid + 1), Blocks: cfg.FSBlocks})
+		switch cfg.SSDBackend {
+		case "", "profile":
+			// Latency-profile media model (the historical default).
+		case "modeled":
+			// The model's construction seed mixes the socket in directly
+			// rather than forking rng, so the profile path's draw sequence
+			// is untouched when the backend is off.
+			m := modeled.New(cfg.SSDModeled, prof, cfg.FSBlocks,
+				cfg.Seed^(0x55D0+uint64(sid)<<8))
+			dev.SetBackend(m)
+			sys.ModeledSSDs = append(sys.ModeledSSDs, m)
+		default:
+			panic(fmt.Sprintf("core: unknown SSDBackend %q (want \"profile\" or \"modeled\")", cfg.SSDBackend))
+		}
 		if len(cfg.FaultRules) > 0 {
 			dev.SetInjector(fault.NewInjector(rng.Fork(0xFA17+uint64(sid)), cfg.FaultRules...))
 		}
 		s := smu.NewPerCore(eng, uint8(sid), qDepth, pmshr, queues)
 		if cfg.SMURetry != nil {
 			rp := *cfg.SMURetry
-			if grp != nil {
+			if disarmWatchdogs {
 				// Abort-driven watchdog; see the BlockTimeout disarm above.
 				rp.CmdTimeout = 0
 			}

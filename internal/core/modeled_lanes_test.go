@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"hwdp/internal/fs"
+	"hwdp/internal/kernel"
+	"hwdp/internal/mmu"
+	"hwdp/internal/pagetable"
+	"hwdp/internal/sim"
+	"hwdp/internal/ssd/modeled"
+)
+
+// modeledLaneConfig is the lane-equivalence machine: two sockets with
+// modeled (FTL + GC) devices on tight geometry and churned
+// preconditioning, so the run exercises mapping-cache misses, buffered
+// writes and garbage collection — the stateful paths where a lane-order
+// bug would first show up as divergent timings.
+func modeledLaneConfig(lanes int) Config {
+	cfg := smallConfig(kernel.HWDP)
+	cfg.DeviceJitter = true // keep the PRNG-coupled device paths in play
+	cfg.Sockets = 2
+	cfg.Lanes = lanes
+	cfg.Seed = 23
+	cfg.SSDBackend = "modeled"
+	cfg.SSDModeled = modeled.Config{
+		Channels:        2,
+		WaysPerChannel:  1,
+		PlanesPerWay:    2,
+		PagesPerBlock:   16,
+		OPFrac:          0.15,
+		MapEntries:      256,
+		BufEntries:      8,
+		ChurnOverwrites: 2,
+	}
+	// BlockTimeout is left at its default on purpose: NewSystem must
+	// disarm the abort-driven watchdog for the fault-free modeled backend
+	// at every lane count, or the fired-event multisets diverge.
+	return cfg
+}
+
+// mix is a splitmix64-style finalizer: hashing each fired-event timestamp
+// before summing makes the multiset digest sensitive to any timestamp
+// change while staying independent of firing order and lane placement.
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	return x ^ x>>33
+}
+
+// modeledLaneDigest drives a read+write miss storm against the modeled
+// devices and renders every determinism-sensitive output: final clock,
+// kernel/SMU/device stats, each socket's FTL Stats, and an
+// order-independent digest of the fired-event multiset (per-lane
+// accumulators summed, so the value is comparable across lane counts and
+// worker schedules).
+func modeledLaneDigest(t *testing.T, lanes int) string {
+	t.Helper()
+	cfg := modeledLaneConfig(lanes)
+	s := NewSystem(cfg)
+
+	engines := []*sim.Engine{s.Eng}
+	if s.Grp != nil {
+		engines = engines[:0]
+		for i := 0; i < s.Grp.Lanes(); i++ {
+			engines = append(engines, s.Grp.Lane(i))
+		}
+	}
+	sums := make([]uint64, len(engines))
+	counts := make([]uint64, len(engines))
+	for i, eng := range engines {
+		i := i
+		eng.SetObserver(func(at sim.Time) {
+			sums[i] += mix(uint64(at))
+			counts[i]++
+		})
+	}
+
+	th := s.WorkloadThread(0)
+	vas := make([]pagetable.VAddr, cfg.Sockets)
+	for sid := 0; sid < cfg.Sockets; sid++ {
+		va, _, err := s.MapFileOn(sid, fmt.Sprintf("f%d", sid), 64,
+			fs.SeededInit(uint64(sid+1)), s.FastFlags())
+		if err != nil {
+			t.Fatal(err)
+		}
+		vas[sid] = va
+	}
+	// Interleave cold misses across sockets, every third access a write so
+	// dirty pages exist, then msync both mappings to push writes through
+	// the FTL (buffered programs, possibly GC) and settle.
+	for page := 0; page < 64; page++ {
+		for sid := 0; sid < cfg.Sockets; sid++ {
+			va := vas[sid] + pagetable.VAddr(page)*4096
+			var done bool
+			s.K.Access(th, va, page%3 == 0, func(mmu.Result) { done = true })
+			s.RunWhile(func() bool { return !done })
+			if !done {
+				t.Fatal("access hung")
+			}
+		}
+	}
+	for sid := 0; sid < cfg.Sockets; sid++ {
+		var done bool
+		s.K.Msync(th, vas[sid], func() { done = true })
+		s.RunWhile(func() bool { return !done })
+		if !done {
+			t.Fatal("msync hung")
+		}
+	}
+	s.RunFor(2 * sim.Millisecond)
+
+	var eventSum, eventCount uint64
+	for i := range sums {
+		eventSum += sums[i]
+		eventCount += counts[i]
+	}
+	out := fmt.Sprintf("clock=%d kernel=%+v events=%016x/%d",
+		s.Eng.Now(), s.K.Stats(), eventSum, eventCount)
+	for sid := 0; sid < cfg.Sockets; sid++ {
+		out += fmt.Sprintf(" smu%d=%+v dev%d=%+v ftl%d=%+v",
+			sid, s.SMUs[sid].Stats(), sid, s.Devs[sid].Stats(),
+			sid, s.ModeledSSDs[sid].Stats())
+	}
+	return out
+}
+
+// TestModeledSSDLaneEquivalence is the issue's determinism pin for the
+// modeled backend: same seed ⇒ byte-identical Stats (device, FTL, SMU,
+// kernel) and an identical fired-event multiset digest at -lanes 1 vs
+// -lanes 8. The FTL's invariants must also hold on every socket when the
+// storm ends.
+func TestModeledSSDLaneEquivalence(t *testing.T) {
+	seq := modeledLaneDigest(t, 1)
+	for _, lanes := range []int{3, 8} {
+		if got := modeledLaneDigest(t, lanes); got != seq {
+			t.Fatalf("lanes=%d diverged:\n got: %s\nwant: %s", lanes, got, seq)
+		}
+	}
+}
+
+// TestModeledBackendEndToEnd smoke-tests the full stack on one socket:
+// misses complete, the FTL sees the device's read traffic, write-backs
+// land as buffered programs, and the invariants audit clean afterwards.
+func TestModeledBackendEndToEnd(t *testing.T) {
+	cfg := modeledLaneConfig(1)
+	cfg.Sockets = 1
+	s := NewSystem(cfg)
+	va, _, err := s.MapFileOn(0, "f", 128, fs.SeededInit(7), s.FastFlags())
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := s.WorkloadThread(0)
+	for page := 0; page < 128; page++ {
+		var done bool
+		s.K.Access(th, va+pagetable.VAddr(page)*4096, page%2 == 0, func(mmu.Result) { done = true })
+		s.RunWhile(func() bool { return !done })
+	}
+	var done bool
+	s.K.Msync(th, va, func() { done = true })
+	s.RunWhile(func() bool { return !done })
+	m := s.ModeledSSDs[0]
+	st := m.Stats()
+	if st.UserReads == 0 {
+		t.Fatal("modeled backend saw no read traffic — seam not wired")
+	}
+	if st.UserWrites == 0 {
+		t.Fatal("msync produced no modeled write traffic")
+	}
+	if st.PrecondErases == 0 {
+		t.Fatal("churned preconditioning left no GC history")
+	}
+	if vs := m.CheckInvariants(); len(vs) != 0 {
+		t.Fatalf("FTL invariants violated after end-to-end run: %v", vs[0])
+	}
+	ds := s.Dev.Stats()
+	if ds.MediaBusySum == 0 || ds.Reads == 0 {
+		t.Fatalf("device stats not accounted: %+v", ds)
+	}
+}

@@ -29,6 +29,19 @@ type Params struct {
 	// core.Config.Lanes); 0 or 1 is the sequential engine. Figure output
 	// is byte-identical across lane counts.
 	Lanes int
+	// SSDBackend selects the device media model for every unit: "" or
+	// "profile" keeps the latency-profile backend, "modeled" swaps in the
+	// FTL/GC model (core.Config.SSDBackend; see docs/SSD.md). The
+	// fresh-vs-steady figures (fig/ssd, fig/gctail) always run both and
+	// ignore this field.
+	SSDBackend string
+	// SSDFill is the modeled backend's preconditioning fill fraction
+	// (0 means the backend default of 1: the dataset ships on flash).
+	SSDFill float64
+	// SSDChurn is the modeled backend's preconditioning churn in
+	// multiples of the filled capacity; 0 keeps the drive fresh. The
+	// steady-state figures use max(SSDChurn, 2) for their aged rows.
+	SSDChurn float64
 }
 
 // Default returns full-fidelity simulation-scale parameters: the run's
@@ -61,7 +74,21 @@ func (p Params) newSystem(scheme kernel.Scheme, dev ssd.Profile) *core.System {
 	// 1 s on 32 GiB (rotation ≥ 10 s): small memories rotate in fractions
 	// of a second.
 	cfg.Kernel.KptedPeriod = sim.Time(p.MemoryMB) * 600 * sim.Microsecond
+	p.ApplySSD(&cfg)
 	return cfg.Build()
+}
+
+// ApplySSD threads the Params' SSD-backend selection into a machine
+// config ("profile" normalizes to the default empty selector); exported
+// for harnesses (hwdpbench's traced sweep) that assemble their own
+// core.Config.
+func (p Params) ApplySSD(cfg *core.Config) {
+	if p.SSDBackend == "" || p.SSDBackend == "profile" {
+		return
+	}
+	cfg.SSDBackend = p.SSDBackend
+	cfg.SSDModeled.FillFrac = p.SSDFill
+	cfg.SSDModeled.ChurnOverwrites = p.SSDChurn
 }
 
 // threadSet returns n workload threads pinned one per physical core.

@@ -97,6 +97,8 @@ func Units(p Params, threads []int) []sweep.Unit {
 		figure("pmshr", fp, func() (fmt.Stringer, error) { return AblationPMSHR(p) }),
 		figure("devices", fp, func() (fmt.Stringer, error) { return AblationDeviceSweep(p) }),
 		figure("prefetch", fp, func() (fmt.Stringer, error) { return AblationPrefetch(p) }),
+		figure("ssd", fp, func() (fmt.Stringer, error) { return AblationSSDSteady(p) }),
+		figure("gctail", fp, func() (fmt.Stringer, error) { return AblationGCTail(p) }),
 	)
 }
 
@@ -104,6 +106,7 @@ func Units(p Params, threads []int) []sweep.Unit {
 // output. New fields must be added here, or the sweep cache would serve
 // stale results for configurations that differ in the new field.
 func Fingerprint(p Params) string {
-	return fmt.Sprintf("mem=%dMiB ratio=%g ops=%d warmup=%d seed=%d",
-		p.MemoryMB, p.DatasetRatio, p.OpsPerThread, p.WarmupOps, p.Seed)
+	return fmt.Sprintf("mem=%dMiB ratio=%g ops=%d warmup=%d seed=%d ssd=%s fill=%g churn=%g",
+		p.MemoryMB, p.DatasetRatio, p.OpsPerThread, p.WarmupOps, p.Seed,
+		p.SSDBackend, p.SSDFill, p.SSDChurn)
 }

@@ -18,6 +18,7 @@ func TestUnitsCoverAllOrder(t *testing.T) {
 		"fig/13/YCSB-C", "fig/13/YCSB-D", "fig/13/YCSB-E", "fig/13/YCSB-F",
 		"fig/14", "fig/15", "fig/16", "fig/17",
 		"fig/kpoold", "fig/pmshr", "fig/devices", "fig/prefetch",
+		"fig/ssd", "fig/gctail",
 	}
 	units := Units(Quick(), nil)
 	if len(units) != len(want) {

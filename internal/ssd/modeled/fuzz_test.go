@@ -1,0 +1,106 @@
+package modeled
+
+import (
+	"testing"
+
+	"hwdp/internal/sim"
+	"hwdp/internal/ssd"
+)
+
+// fuzzModel builds the tiny fuzz-target drive: aggressive churn so GC
+// state is live from the first generated op.
+func fuzzModel(seed uint64) *Model {
+	cfg := smallConfig(Greedy, 1.5)
+	if seed%2 == 1 {
+		cfg.GCPolicy = CostBenefit
+	}
+	return New(cfg, ssd.ZSSD, smallLBAs, seed)
+}
+
+// FuzzFTLMappingRoundTrip feeds arbitrary byte programs into the FTL's
+// write/read path — each pair of input bytes becomes one op (low bits
+// pick read vs write and the burst length, the rest pick the LBA) — and
+// then audits the full invariant set plus a version-shadow round-trip:
+// whatever the fuzzer writes, every live LBA must still map to exactly
+// one valid flash page holding its last write.
+func FuzzFTLMappingRoundTrip(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x10, 0x20, 0xff, 0x03})
+	f.Add([]byte("write storms against the mapping table"))
+	f.Add([]byte{0x81, 0x81, 0x81, 0x81, 0x81, 0x81, 0x81, 0x81})
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		if len(prog) > 4096 {
+			prog = prog[:4096]
+		}
+		m := fuzzModel(uint64(len(prog)))
+		shadow := make([]uint32, smallLBAs)
+		copy(shadow, m.ver)
+		seq := m.writeSeq
+		now := sim.Time(0)
+		for i := 0; i+1 < len(prog); i += 2 {
+			op, sel := prog[i], prog[i+1]
+			lba := (int64(op)<<3 | int64(sel)>>5) % smallLBAs
+			n := 1 + int(sel&3)
+			if lba+int64(n) > smallLBAs {
+				n = int(smallLBAs - lba)
+			}
+			if op&1 == 0 {
+				now = writeCmd(m, now, lba, n)
+				for j := 0; j < n; j++ {
+					seq++
+					shadow[lba+int64(j)] = seq
+				}
+			} else {
+				now = readCmd(m, now, lba, n)
+			}
+		}
+		if vs := m.CheckInvariants(); len(vs) != 0 {
+			t.Fatalf("%d invariant violations after fuzz program, first: %v", len(vs), vs[0])
+		}
+		for lba := int64(0); lba < smallLBAs; lba++ {
+			if m.ver[lba] != shadow[lba] {
+				t.Fatalf("lba %d: version %d, shadow %d (lost or stale write survived GC)", lba, m.ver[lba], shadow[lba])
+			}
+		}
+	})
+}
+
+// FuzzGCVictim drives victim selection directly: arbitrary bytes shape
+// an overwrite pattern, then the collector is forced repeatedly. GC must
+// only ever consume full live blocks, must leave the free accounting
+// reconciled, and must never shrink the free pool below where it began.
+func FuzzGCVictim(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04})
+	f.Add([]byte("victim selection under skewed heat"))
+	f.Add([]byte{0xaa, 0x00, 0xaa, 0x00, 0xaa, 0x00})
+	f.Fuzz(func(t *testing.T, pattern []byte) {
+		if len(pattern) > 2048 {
+			pattern = pattern[:2048]
+		}
+		m := fuzzModel(uint64(len(pattern)) + 1)
+		now := sim.Time(0)
+		// Skew the heat: each byte overwrites a narrow LBA band, so some
+		// blocks go nearly stale while others stay hot.
+		for i, b := range pattern {
+			base := (int64(b) * 7) % smallLBAs
+			for j := int64(0); j < 8 && base+j < smallLBAs; j++ {
+				now = writeCmd(m, now, base+j, 1)
+			}
+			if i%16 == 15 {
+				before := m.FreeBlocks()
+				m.collect(now)
+				if m.FreeBlocks() < before {
+					t.Fatalf("collect shrank the free pool: %d -> %d", before, m.FreeBlocks())
+				}
+			}
+		}
+		if v := m.pickVictim(now); v >= 0 {
+			b := &m.blocks[v]
+			if b.free || int(b.written) != m.ppb || int(b.valid) == m.ppb {
+				t.Fatalf("victim %d invalid: free=%v written=%d valid=%d", v, b.free, b.written, b.valid)
+			}
+		}
+		if vs := m.CheckInvariants(); len(vs) != 0 {
+			t.Fatalf("%d invariant violations after forced GC, first: %v", len(vs), vs[0])
+		}
+	})
+}

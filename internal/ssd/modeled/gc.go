@@ -1,0 +1,202 @@
+package modeled
+
+import (
+	"fmt"
+
+	"hwdp/internal/sim"
+)
+
+// pickVictim selects the next GC victim among full, non-free blocks.
+// Greedy minimizes valid pages; cost-benefit maximizes the classic LFS
+// cleaner score (1-u)/(1+u)·age. Ties break toward the lowest block id,
+// so selection is deterministic. Returns -1 when no full block exists or
+// every candidate is fully valid (relocating one would reclaim nothing).
+func (m *Model) pickVictim(now sim.Time) int32 {
+	best := int32(-1)
+	bestValid := int32(0)
+	bestScore := 0.0
+	for i := range m.blocks {
+		b := &m.blocks[i]
+		if b.free || int(b.written) != m.ppb || int(b.valid) == m.ppb {
+			continue
+		}
+		if m.cfg.GCPolicy == CostBenefit {
+			u := float64(b.valid) / float64(m.ppb)
+			age := float64(now - b.lastMod)
+			if age < 1 {
+				age = 1
+			}
+			score := (1 - u) / (1 + u) * age
+			if best < 0 || score > bestScore {
+				best, bestScore = int32(i), score
+			}
+		} else {
+			if best < 0 || b.valid < bestValid {
+				best, bestValid = int32(i), b.valid
+			}
+		}
+	}
+	return best
+}
+
+// collect reclaims blocks until the free pool recovers to the high
+// watermark (or no victim can yield space): relocate the victim's live
+// pages — reads occupy the victim's plane, programs stripe across the
+// array like host writes — then erase it and return it to its plane's
+// pool. All of this plane time lands on the busy timelines, which is
+// exactly the GC tail spike subsequent host commands observe.
+func (m *Model) collect(now sim.Time) {
+	m.st.GCRuns++
+	bpp := m.blocksPerPlane()
+	for m.freeTotal < m.cfg.GCHighBlocks {
+		victim := m.pickVictim(now)
+		if victim < 0 {
+			// Every full block is fully valid: relocation would consume
+			// as many pages as it frees. Stop; allocation continues from
+			// whatever headroom remains.
+			return
+		}
+		b := &m.blocks[victim]
+		pl := &m.planes[int(victim)/bpp]
+		t := now
+		if pl.busyAt > t {
+			t = pl.busyAt
+		}
+		for off := 0; off < m.ppb; off++ {
+			lba := b.lbas[off]
+			if lba < 0 {
+				continue
+			}
+			// Relocation read off the victim plane...
+			t += m.cfg.ReadLatency
+			pl.busyAt = t
+			m.st.GCReads++
+			m.st.GCBusySum += m.cfg.ReadLatency
+			// ...then a striped program elsewhere (gc=true draws from the
+			// spare pool without re-entering the collector).
+			m.program(int64(lba), t, true)
+			m.st.GCBusySum += m.cfg.ProgramLatency
+		}
+		if b.valid != 0 {
+			panic(fmt.Sprintf("modeled: victim block %d still has %d valid pages after relocation", victim, b.valid))
+		}
+		pl.busyAt = t + m.cfg.EraseLatency
+		m.st.Erases++
+		m.st.GCBusySum += m.cfg.EraseLatency
+		m.eraseInto(victim, pl)
+	}
+}
+
+// eraseInto resets an empty block and returns it to its plane's pool.
+func (m *Model) eraseInto(id int32, pl *plane) {
+	b := &m.blocks[id]
+	for j := range b.lbas {
+		b.lbas[j] = -1
+		b.vers[j] = 0
+	}
+	b.written = 0
+	b.free = true
+	b.erases++
+	pl.free = append(pl.free, id)
+	m.freeTotal++
+}
+
+// Violation is one failed FTL invariant, in the style of internal/check:
+// Invariant names the rule, Detail says what reconciliation failed.
+type Violation struct {
+	Invariant string
+	Detail    string
+}
+
+// String renders the violation for test output.
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// CheckInvariants audits the full FTL state and returns every violated
+// invariant (empty means consistent):
+//
+//   - mapping: every live LBA's l2p entry points at a flash page whose
+//     inverse map names that LBA and carries its last-written version
+//     (no lost or stale live data);
+//   - valid-count: each block's valid counter reconciles with its
+//     inverse map;
+//   - conservation: total valid flash pages equal total mapped LBAs
+//     (with the mapping invariant this makes live-LBA → valid-page a
+//     bijection: exactly one valid copy per LBA);
+//   - free-blocks: the global free counter, the per-plane pools and the
+//     per-block free flags all reconcile, and free blocks are empty;
+//   - geometry: open blocks never exceed the block size and active
+//     blocks are not in any free pool.
+func (m *Model) CheckInvariants() []Violation {
+	var out []Violation
+	mapped := 0
+	for lba := int64(0); lba < m.userPages; lba++ {
+		ppn := m.l2p[lba]
+		if ppn < 0 {
+			continue
+		}
+		mapped++
+		if int(ppn) >= m.nblocks*m.ppb {
+			out = append(out, Violation{"mapping", fmt.Sprintf("lba %d maps to out-of-range page %d", lba, ppn)})
+			continue
+		}
+		b := &m.blocks[ppn/int32(m.ppb)]
+		off := ppn % int32(m.ppb)
+		if b.lbas[off] != int32(lba) {
+			out = append(out, Violation{"mapping",
+				fmt.Sprintf("lba %d maps to page %d, but the page's inverse entry names lba %d (live data lost)", lba, ppn, b.lbas[off])})
+		} else if b.vers[off] != m.ver[lba] {
+			out = append(out, Violation{"mapping",
+				fmt.Sprintf("lba %d page %d holds version %d, want last-written %d (stale data relocated)", lba, ppn, b.vers[off], m.ver[lba])})
+		}
+	}
+	validTotal, freeFlagged := 0, 0
+	for i := range m.blocks {
+		b := &m.blocks[i]
+		count := int32(0)
+		for _, l := range b.lbas {
+			if l >= 0 {
+				count++
+			}
+		}
+		if count != b.valid {
+			out = append(out, Violation{"valid-count",
+				fmt.Sprintf("block %d counter says %d valid pages, inverse map has %d", i, b.valid, count)})
+		}
+		validTotal += int(count)
+		if b.free {
+			freeFlagged++
+			if count != 0 || b.written != 0 {
+				out = append(out, Violation{"free-blocks",
+					fmt.Sprintf("free block %d is not empty (valid=%d written=%d)", i, count, b.written)})
+			}
+		}
+		if int(b.written) > m.ppb {
+			out = append(out, Violation{"geometry",
+				fmt.Sprintf("block %d has %d pages written, block size is %d", i, b.written, m.ppb)})
+		}
+	}
+	if validTotal != mapped {
+		out = append(out, Violation{"conservation",
+			fmt.Sprintf("%d valid flash pages for %d mapped lbas (copies leaked or lost)", validTotal, mapped)})
+	}
+	pooled := 0
+	for p := range m.planes {
+		pl := &m.planes[p]
+		pooled += len(pl.free)
+		for _, id := range pl.free {
+			if !m.blocks[id].free {
+				out = append(out, Violation{"free-blocks",
+					fmt.Sprintf("plane %d pools block %d which is not flagged free", p, id)})
+			}
+		}
+		if pl.active >= 0 && m.blocks[pl.active].free {
+			out = append(out, Violation{"geometry",
+				fmt.Sprintf("plane %d's active block %d is flagged free", p, pl.active)})
+		}
+	}
+	if pooled != m.freeTotal || freeFlagged != m.freeTotal {
+		out = append(out, Violation{"free-blocks",
+			fmt.Sprintf("free accounting disagrees: counter=%d pooled=%d flagged=%d", m.freeTotal, pooled, freeFlagged)})
+	}
+	return out
+}

@@ -54,6 +54,52 @@ var (
 	}
 )
 
+// Backend is a pluggable media model behind the Device's queue/transport
+// machinery. The default (nil) backend is the latency-profile model built
+// into service: striped channels, jittered service times and
+// write-interference. A non-nil backend (ssd/modeled's FTL + GC + plane
+// model) takes over media timing entirely: the Device still owns queue
+// attachment, fault injection, DMA, aborts and completion delivery, and
+// asks the backend only when each command's media work starts and ends.
+//
+// Backends are plain virtual-time bookkeeping: Admit is called in event
+// order on the device's engine, must not schedule events or touch other
+// lanes, and must be deterministic for a fixed construction seed — that is
+// what keeps modeled runs byte-identical across -lanes counts.
+type Backend interface {
+	// Admit commits the media schedule for one command at submission time
+	// and returns when its device-internal queueing ends and when its
+	// media work (including any data transfer) completes. spike is the
+	// fault injector's service-time multiplier (1 when clean).
+	Admit(now sim.Time, cmd nvme.Command, spike float64) Admission
+	// MinLatency lower-bounds Admission.Done - now over every possible
+	// command: the Device folds it into SendFloor so lane scheduling stays
+	// sound with the backend swapped in.
+	MinLatency() sim.Time
+}
+
+// Admission is a Backend's scheduling decision for one command.
+type Admission struct {
+	// Start is when device-internal queueing (plane waits, buffer stalls,
+	// mapping fetches) ends and media service begins.
+	Start sim.Time
+	// Done is the media completion time: the Device runs DMA and posts
+	// the completion then.
+	Done sim.Time
+	// Spans carries the backend's per-phase trace attribution for traced
+	// commands (nil when the command has no trace context). The slice is
+	// only valid until the next Admit call — the Device copies it into
+	// the trace immediately.
+	Spans []BackendSpan
+}
+
+// BackendSpan is one labeled interval of a command's device-internal life,
+// recorded into the miss trace under trace.LayerSSD.
+type BackendSpan struct {
+	Label      string
+	Start, End sim.Time
+}
+
 // DMAFunc performs the data transfer for a command once the media access
 // completes: for reads it deposits the block into the frame addressed by
 // PRP1. It runs at completion time in virtual time order.
@@ -83,11 +129,17 @@ type channel struct {
 	outstandingWrites int
 }
 
-// Stats aggregates device-side counters.
+// Stats aggregates device-side counters. Latency accounting is split into
+// device-internal queueing (QueueWaitSum: channel/plane waits, buffer
+// stalls, GC stalls — time a command spends admitted but not being
+// serviced) and media occupancy (MediaBusySum: the service time itself),
+// so the profile and modeled backends report comparable breakdowns.
+// ReadLatencySum remains the end-to-end sum (queueing + media) for reads.
 type Stats struct {
 	Reads, Writes, Flushes uint64
 	ReadLatencySum         sim.Time
 	QueueWaitSum           sim.Time
+	MediaBusySum           sim.Time
 	// Fault-injection outcomes, counted at the device boundary.
 	InjTransient uint64 // completions forced to a retryable status
 	InjUECC      uint64 // completions forced to an unrecoverable media status
@@ -141,6 +193,7 @@ type Device struct {
 	attached  map[uint16]*attachment
 	chans     []channel
 	dma       DMAFunc
+	backend   Backend
 	inj       *fault.Injector
 	inflight  map[flightKey]*flight
 	pool      []*flight
@@ -226,6 +279,15 @@ func (d *Device) putFlight(fl *flight) {
 	d.pool = append(d.pool, fl)
 }
 
+// SetBackend swaps the media model (see Backend). It must be called
+// before any traffic reaches the device; nil restores the built-in
+// latency-profile model.
+func (d *Device) SetBackend(b Backend) { d.backend = b }
+
+// Backend returns the attached media backend (nil for the built-in
+// latency-profile model).
+func (d *Device) Backend() Backend { return d.backend }
+
 // SetInjector attaches a fault injector consulted once per media command.
 // The injector must own a PRNG stream forked from the run seed so that
 // enabling faults never perturbs the device's own jitter stream.
@@ -290,14 +352,19 @@ const RejectLatency = 500 * sim.Nanosecond
 // of the cheapest media operation, plus the wire. Core wiring feeds it to
 // Engine.SetLookahead for the device's lane.
 func (d *Device) SendFloor(minIRQ sim.Time) sim.Time {
-	m := d.prof.Read4K
-	if d.prof.Write4K < m {
-		m = d.prof.Write4K
+	var m sim.Time
+	if d.backend != nil {
+		m = d.backend.MinLatency()
+	} else {
+		m = d.prof.Read4K
+		if d.prof.Write4K < m {
+			m = d.prof.Write4K
+		}
+		if h := d.prof.Write4K / 2; h < m {
+			m = h
+		}
+		m = m * 7 / 10 // the jitter clamp in jitter()
 	}
-	if h := d.prof.Write4K / 2; h < m {
-		m = h
-	}
-	m = m * 7 / 10 // the jitter clamp in jitter()
 	if RejectLatency < m {
 		m = RejectLatency
 	}
@@ -368,51 +435,92 @@ func (d *Device) service(at *attachment, cmd nvme.Command) {
 		return
 	}
 
-	ch := &d.chans[int(cmd.SLBA)%len(d.chans)]
-	var svc sim.Time
-	switch cmd.Opcode {
-	case nvme.OpRead:
-		d.stats.Reads++
-		svc = d.jitter(d.prof.Read4K) * sim.Time(cmd.Blocks())
-		if !cmd.Urgent && ch.outstandingWrites > 0 {
-			// Reads queued behind program operations on the same channel.
-			svc += sim.Time(float64(d.prof.Read4K) * d.prof.WriteInterference * float64(ch.outstandingWrites))
-		}
-	case nvme.OpWrite:
-		d.stats.Writes++
-		svc = d.jitter(d.prof.Write4K) * sim.Time(cmd.Blocks())
-		ch.outstandingWrites++
-	case nvme.OpFlush:
-		d.stats.Flushes++
-		svc = d.jitter(d.prof.Write4K / 2)
-	}
-
+	var ch *channel
+	var start, done sim.Time
 	var dec fault.Decision
-	if d.inj != nil {
-		dec = d.inj.Decide(cmd.Opcode == nvme.OpRead, cmd.SLBA, at.qp.ID)
-		if dec.Kind == fault.Spike {
-			d.stats.InjSpikes++
-			svc = sim.Time(float64(svc) * dec.SpikeFactor)
+	if d.backend != nil {
+		// Media timing is the backend's: the profile's channels, jitter
+		// and write-interference are all subsumed by its own resource
+		// model. Fault spikes multiply the backend's service times.
+		switch cmd.Opcode {
+		case nvme.OpRead:
+			d.stats.Reads++
+		case nvme.OpWrite:
+			d.stats.Writes++
+		case nvme.OpFlush:
+			d.stats.Flushes++
 		}
-	}
-
-	start := now
-	if ch.freeAt > start {
-		d.stats.QueueWaitSum += ch.freeAt - start
-		start = ch.freeAt
-	}
-	done := start + svc
-	ch.freeAt = done
-	if cmd.Opcode == nvme.OpRead {
-		d.stats.ReadLatencySum += done - now
-	}
-	if cmd.Trace != nil {
-		// Spans are recorded at schedule time (start and end are both
-		// known): channel queue wait, then media occupancy.
+		spike := 1.0
+		if d.inj != nil {
+			dec = d.inj.Decide(cmd.Opcode == nvme.OpRead, cmd.SLBA, at.qp.ID)
+			if dec.Kind == fault.Spike {
+				d.stats.InjSpikes++
+				spike = dec.SpikeFactor
+			}
+		}
+		adm := d.backend.Admit(now, cmd, spike)
+		start, done = adm.Start, adm.Done
 		if start > now {
-			cmd.Trace.AddSpan(trace.LayerSSD, "channel-queue-wait", now, start)
+			d.stats.QueueWaitSum += start - now
 		}
-		cmd.Trace.AddSpan(trace.LayerSSD, "media "+cmd.Opcode.String(), start, done)
+		d.stats.MediaBusySum += done - start
+		if cmd.Opcode == nvme.OpRead {
+			d.stats.ReadLatencySum += done - now
+		}
+		if cmd.Trace != nil {
+			// The backend attributes its own phases (mapping fetches,
+			// plane waits, GC stalls, media, bus transfer).
+			for _, sp := range adm.Spans {
+				cmd.Trace.AddSpan(trace.LayerSSD, sp.Label, sp.Start, sp.End)
+			}
+		}
+	} else {
+		ch = &d.chans[int(cmd.SLBA)%len(d.chans)]
+		var svc sim.Time
+		switch cmd.Opcode {
+		case nvme.OpRead:
+			d.stats.Reads++
+			svc = d.jitter(d.prof.Read4K) * sim.Time(cmd.Blocks())
+			if !cmd.Urgent && ch.outstandingWrites > 0 {
+				// Reads queued behind program operations on the same channel.
+				svc += sim.Time(float64(d.prof.Read4K) * d.prof.WriteInterference * float64(ch.outstandingWrites))
+			}
+		case nvme.OpWrite:
+			d.stats.Writes++
+			svc = d.jitter(d.prof.Write4K) * sim.Time(cmd.Blocks())
+			ch.outstandingWrites++
+		case nvme.OpFlush:
+			d.stats.Flushes++
+			svc = d.jitter(d.prof.Write4K / 2)
+		}
+
+		if d.inj != nil {
+			dec = d.inj.Decide(cmd.Opcode == nvme.OpRead, cmd.SLBA, at.qp.ID)
+			if dec.Kind == fault.Spike {
+				d.stats.InjSpikes++
+				svc = sim.Time(float64(svc) * dec.SpikeFactor)
+			}
+		}
+
+		start = now
+		if ch.freeAt > start {
+			d.stats.QueueWaitSum += ch.freeAt - start
+			start = ch.freeAt
+		}
+		done = start + svc
+		ch.freeAt = done
+		d.stats.MediaBusySum += svc
+		if cmd.Opcode == nvme.OpRead {
+			d.stats.ReadLatencySum += done - now
+		}
+		if cmd.Trace != nil {
+			// Spans are recorded at schedule time (start and end are both
+			// known): channel queue wait, then media occupancy.
+			if start > now {
+				cmd.Trace.AddSpan(trace.LayerSSD, "channel-queue-wait", now, start)
+			}
+			cmd.Trace.AddSpan(trace.LayerSSD, "media "+cmd.Opcode.String(), start, done)
+		}
 	}
 
 	key := flightKey{qid: at.qp.ID, cid: cmd.CID}
@@ -467,7 +575,9 @@ func outcomeStatus(kind fault.Kind, op nvme.Opcode) (status uint16, deliverable 
 // injected-fault resolution, DMA, and the completion post.
 func (d *Device) finish(fl *flight) {
 	delete(d.inflight, fl.key)
-	if fl.isWrite {
+	if fl.isWrite && fl.ch != nil {
+		// Backend flights carry no channel: interference lives in the
+		// backend's own plane timelines.
 		fl.ch.outstandingWrites--
 	}
 	at, cmd, done := fl.at, fl.cmd, fl.done
@@ -543,15 +653,19 @@ func (d *Device) Abort(qid, cid uint16) bool {
 	}
 	fl.ev.Cancel()
 	delete(d.inflight, key)
-	if fl.isWrite {
-		fl.ch.outstandingWrites--
-	}
-	// An aborted command stops occupying its channel. Only the channel
-	// tail can be reclaimed: once a later command queued behind this one,
-	// the media time is already committed.
-	if fl.ch.freeAt == fl.done {
-		if now := d.eng.Now(); now < fl.ch.freeAt {
-			fl.ch.freeAt = now
+	if fl.ch != nil {
+		if fl.isWrite {
+			fl.ch.outstandingWrites--
+		}
+		// An aborted command stops occupying its channel. Only the channel
+		// tail can be reclaimed: once a later command queued behind this
+		// one, the media time is already committed. (Backend flights have
+		// no channel; the backend's timelines are already committed, which
+		// matches the same-rule conservatism.)
+		if fl.ch.freeAt == fl.done {
+			if now := d.eng.Now(); now < fl.ch.freeAt {
+				fl.ch.freeAt = now
+			}
 		}
 	}
 	fl.cmd.Trace.Mark(trace.LayerSSD, "aborted", d.eng.Now())
