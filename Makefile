@@ -70,12 +70,23 @@ fmt:
 	gofmt -w .
 
 # lint runs the stock go vet analyzers plus the repo's own hwdplint suite
-# (determinism, pool pairing, sim-time units, hot-path closure captures).
-# See docs/ANALYSIS.md for the analyzers and the //hwdp:ignore syntax.
+# (determinism, pool pairing, sim-time units, hot-path closure captures,
+# status-switch exhaustiveness, and the interprocedural hotalloc/laneescape
+# proofs over per-package callgraph facts). See docs/ANALYSIS.md for the
+# analyzers and the //hwdp:ignore syntax. The wall-clock budget keeps the
+# fact-driven vettool pass honest: blowing it means facts stopped caching
+# (check the -V=full fingerprint) or an analyzer went superlinear.
+LINT_BUDGET_SECS ?= 120
 lint:
-	$(GO) vet ./...
-	$(GO) build -o bin/hwdplint ./cmd/hwdplint
-	$(GO) vet -vettool=$(CURDIR)/bin/hwdplint ./...
+	@start=$$(date +%s); \
+	$(GO) vet ./... && \
+	$(GO) build -o bin/hwdplint ./cmd/hwdplint && \
+	$(GO) vet -vettool=$(CURDIR)/bin/hwdplint ./... || exit $$?; \
+	elapsed=$$(( $$(date +%s) - start )); \
+	echo "lint wall-clock: $${elapsed}s (budget $(LINT_BUDGET_SECS)s)"; \
+	if [ $$elapsed -gt $(LINT_BUDGET_SECS) ]; then \
+		echo "lint exceeded its wall-clock budget"; exit 1; \
+	fi
 
 # docs-check enforces the documentation invariants: gofmt-clean sources,
 # package docs and doc comments on every exported symbol, and no broken

@@ -1,13 +1,20 @@
 // Command hwdplint runs the repo's analyzer suite (simdeterminism,
-// poolpair, simtime, eventcapture — see docs/ANALYSIS.md).
+// lanesafety, laneescape, poolpair, simtime, eventcapture, hotalloc,
+// statuscase — see docs/ANALYSIS.md).
 //
 // It speaks the `go vet -vettool` protocol, so the canonical invocation is
 //
 //	go build -o bin/hwdplint ./cmd/hwdplint
 //	go vet -vettool=$(pwd)/bin/hwdplint ./...
 //
-// (that is what `make lint` runs). Invoked with package patterns instead,
-// it loads the packages itself:
+// (that is what `make lint` runs). In that mode the go command runs the
+// tool once per package in dependency order; hwdplint writes each
+// package's callgraph summary to the facts file the go command names
+// (vet.cfg VetxOutput) and reads its dependencies' summaries back
+// (PackageVetx), giving the interprocedural analyzers (laneescape,
+// hotalloc) cross-package reach with full incremental caching. Invoked
+// with package patterns instead, it loads the packages itself and threads
+// the facts in-process:
 //
 //	./bin/hwdplint ./...
 //
@@ -15,18 +22,16 @@
 package main
 
 import (
-	"encoding/json"
+	"crypto/sha256"
 	"fmt"
-	"go/importer"
 	"go/token"
-	"go/types"
 	"io"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
 
 	"hwdp/internal/analysis"
+	"hwdp/internal/analysis/callgraph"
 	"hwdp/internal/analysis/loader"
 	"hwdp/internal/analysis/suite"
 )
@@ -39,8 +44,12 @@ func run(args []string) int {
 	for _, a := range args {
 		switch a {
 		case "-V=full", "--V=full":
-			// The go command fingerprints vet tools for its action cache.
-			fmt.Println("hwdplint version v1.0.0")
+			// The go command fingerprints vet tools for its action cache;
+			// the fingerprint keys the cached facts files, so it must
+			// change whenever the tool's behavior does. Hash the binary
+			// itself: a constant string here would keep serving stale
+			// facts across tool rebuilds.
+			fmt.Printf("hwdplint version %s\n", selfHash())
 			return 0
 		case "-flags", "--flags":
 			// The go command asks which flags the tool accepts; hwdplint
@@ -62,6 +71,25 @@ func run(args []string) int {
 	return runStandalone(args)
 }
 
+// selfHash returns a content hash of the running binary, in the
+// "name version <id>" shape the go command's toolID parser accepts.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "v0-unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "v0-unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "v0-unknown"
+	}
+	return fmt.Sprintf("v0-%x", h.Sum(nil)[:12])
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: hwdplint <packages>   (or via go vet -vettool=hwdplint)\n\nanalyzers:\n")
 	for _, a := range suite.Analyzers {
@@ -70,109 +98,77 @@ func usage() {
 	fmt.Fprintf(os.Stderr, "\nsuppress with: //hwdp:ignore <analyzer> <reason>   (reason required)\n")
 }
 
-// vetConfig mirrors the JSON the go command writes to <objdir>/vet.cfg for
-// each vetted package (cmd/go/internal/work.vetConfig).
-type vetConfig struct {
-	ID           string
-	Compiler     string
-	Dir          string
-	ImportPath   string
-	GoFiles      []string
-	NonGoFiles   []string
-	IgnoredFiles []string
-
-	ModulePath    string
-	ModuleVersion string
-	ImportMap     map[string]string
-	PackageFile   map[string]string
-	Standard      map[string]bool
-	PackageVetx   map[string]string
-	VetxOnly      bool
-	VetxOutput    string
-	GoVersion     string
-
-	SucceedOnTypecheckFailure bool
-}
-
-// runVetCfg analyzes one package unit as directed by a vet.cfg file.
+// runVetCfg analyzes one package unit as directed by a vet.cfg file,
+// importing dependency facts and exporting this package's summary.
 func runVetCfg(cfgPath string) int {
-	data, err := os.ReadFile(cfgPath)
+	cfg, err := loader.ReadVetConfig(cfgPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintf(os.Stderr, "hwdplint: %v\n", err)
 		return 1
 	}
-	var cfg vetConfig
-	if err := json.Unmarshal(data, &cfg); err != nil {
-		fmt.Fprintf(os.Stderr, "hwdplint: parsing %s: %v\n", cfgPath, err)
-		return 1
-	}
-	// Dependencies are vetted only for facts (VetxOnly); hwdplint keeps no
-	// cross-package facts, and only this module's packages are checked.
-	if cfg.VetxOnly || !strings.HasPrefix(analysis.NormalizePkgPath(cfg.ImportPath), "hwdp") {
+	// Packages outside this module carry no hwdp facts: write an empty
+	// summary (the walk treats them as opaque) without parsing them.
+	if !strings.HasPrefix(analysis.NormalizePkgPath(cfg.ImportPath), "hwdp") {
+		writeFacts(cfg, &callgraph.PkgFacts{Version: callgraph.Version, Pkg: analysis.NormalizePkgPath(cfg.ImportPath)})
 		return 0
 	}
-
-	fset := token.NewFileSet()
-	lookup := func(path string) (io.ReadCloser, error) {
-		if canon, ok := cfg.ImportMap[path]; ok {
-			path = canon
-		}
-		file, ok := cfg.PackageFile[path]
-		if !ok {
-			return nil, fmt.Errorf("no export data for %q", path)
-		}
-		return os.Open(file)
-	}
-	compiler := cfg.Compiler
-	if compiler == "" {
-		compiler = "gc"
-	}
-	files, err := loader.ParseFiles(fset, cfg.Dir, cfg.GoFiles)
+	u, err := cfg.LoadUnit()
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
 			return 0
 		}
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintf(os.Stderr, "hwdplint: %v\n", err)
 		return 1
 	}
-	info := analysis.NewInfo()
-	conf := types.Config{
-		Importer:  importer.ForCompiler(fset, compiler, lookup),
-		Sizes:     types.SizesFor(compiler, runtime.GOARCH),
-		GoVersion: cfg.GoVersion,
+	reg := callgraph.NewRegistry()
+	for _, factsFile := range cfg.PackageVetx {
+		reg.LoadFile(factsFile)
 	}
-	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
-	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return 0
-		}
-		fmt.Fprintf(os.Stderr, "hwdplint: type-checking %s: %v\n", cfg.ImportPath, err)
-		return 1
+	pf := callgraph.Summarize(u, reg)
+	writeFacts(cfg, pf)
+	if cfg.VetxOnly {
+		return 0 // dependency run: facts only, no diagnostics
 	}
-	u := &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}
 	diags, err := analysis.Run(u, suite.Analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hwdplint: %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
-	return report(fset, diags)
+	return report(u.Fset, diags)
 }
 
-// runStandalone loads package patterns itself and analyzes each unit.
+// writeFacts serializes a package summary to the vet.cfg's VetxOutput (a
+// no-op when the go command did not ask for facts).
+func writeFacts(cfg *loader.VetConfig, pf *callgraph.PkgFacts) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	data, err := pf.Encode()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hwdplint: encoding facts for %s: %v\n", cfg.ImportPath, err)
+		return
+	}
+	if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+		fmt.Fprintf(os.Stderr, "hwdplint: writing facts for %s: %v\n", cfg.ImportPath, err)
+	}
+}
+
+// runStandalone loads package patterns itself and analyzes each unit,
+// threading callgraph facts in dependency order in-process.
 func runStandalone(patterns []string) int {
 	units, err := loader.Load("", patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hwdplint: %v\n", err)
 		return 1
 	}
+	results, err := suite.RunAll(units)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hwdplint: %v\n", err)
+		return 1
+	}
 	status := 0
-	for _, u := range units {
-		diags, err := analysis.Run(u, suite.Analyzers)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "hwdplint: %s: %v\n", u.Pkg.Path(), err)
-			return 1
-		}
-		if s := report(u.Fset, diags); s > status {
+	for _, r := range results {
+		if s := report(r.Unit.Fset, r.Diags); s > status {
 			status = s
 		}
 	}

@@ -15,7 +15,9 @@
 //
 // comment on the flagged line or the line directly above it. The reason is
 // mandatory: a reason-less suppression is itself reported (as analyzer
-// "hwdpignore") and does not suppress anything. See docs/ANALYSIS.md.
+// "hwdpignore") and does not suppress anything, and a well-formed
+// suppression that no longer covers any finding is reported as stale so
+// waivers cannot outlive their bugs. See docs/ANALYSIS.md.
 package analysis
 
 import (
@@ -57,6 +59,9 @@ type Pass struct {
 	Pkg *types.Package
 	// TypesInfo holds the type-checker's expression facts.
 	TypesInfo *types.Info
+	// Unit is the package unit under analysis; interprocedural analyzers
+	// reach the driver-attached fact store through Unit.Facts.
+	Unit *Unit
 
 	diags *[]Diagnostic
 }
@@ -93,6 +98,15 @@ type Unit struct {
 	// Info holds type-checker facts (Types, Defs, Uses, Selections must
 	// be populated).
 	Info *types.Info
+	// Facts is the driver-attached cross-package fact store (in practice
+	// a *callgraph.Registry). It is typed as any to keep the framework
+	// free of a dependency on the fact format; interprocedural analyzers
+	// assert the concrete type and degrade to local-only checks when it
+	// is absent.
+	Facts any
+
+	sups     []*suppression
+	supsDone bool
 }
 
 // NewInfo returns a types.Info with every map the analyzers need
@@ -115,18 +129,26 @@ const IgnoreDirective = "//hwdp:ignore"
 // ignoreRe captures "analyzer" and "reason" from a suppression comment.
 var ignoreRe = regexp.MustCompile(`^//hwdp:ignore\s+([A-Za-z0-9_-]+)[ \t]*(.*)$`)
 
-// suppression is one parsed //hwdp:ignore comment.
+// suppression is one parsed //hwdp:ignore comment. used records whether
+// the suppression actually covered a finding — either a diagnostic during
+// Run or an interprocedural atom dropped at fact-collection time — so Run
+// can report suppressions that have outlived their bug as stale.
 type suppression struct {
 	analyzer string
 	reason   string
 	file     string
 	line     int
 	pos      token.Pos
+	used     bool
 }
 
-// collectSuppressions parses every //hwdp:ignore comment in the unit.
-func collectSuppressions(u *Unit) []suppression {
-	var out []suppression
+// suppressions parses every //hwdp:ignore comment in the unit (cached, so
+// use-marking survives across the fact-collection and analyzer phases).
+func (u *Unit) suppressions() []*suppression {
+	if u.supsDone {
+		return u.sups
+	}
+	u.supsDone = true
 	for _, f := range u.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -136,10 +158,10 @@ func collectSuppressions(u *Unit) []suppression {
 				m := ignoreRe.FindStringSubmatch(c.Text)
 				p := u.Fset.Position(c.Pos())
 				if m == nil {
-					out = append(out, suppression{analyzer: "", file: p.Filename, line: p.Line, pos: c.Pos()})
+					u.sups = append(u.sups, &suppression{analyzer: "", file: p.Filename, line: p.Line, pos: c.Pos()})
 					continue
 				}
-				out = append(out, suppression{
+				u.sups = append(u.sups, &suppression{
 					analyzer: m[1],
 					reason:   strings.TrimSpace(m[2]),
 					file:     p.Filename,
@@ -149,13 +171,37 @@ func collectSuppressions(u *Unit) []suppression {
 			}
 		}
 	}
-	return out
+	return u.sups
+}
+
+// Suppresses reports whether a valid //hwdp:ignore for the named analyzer
+// covers pos (its own line or the line directly below), marking the
+// suppression as used. Fact collectors call it to drop waived sites before
+// they enter the cross-package fact store; Run calls it for every
+// diagnostic. A suppression that is never marked used by either phase is
+// reported as stale.
+func (u *Unit) Suppresses(analyzer string, pos token.Pos) bool {
+	p := u.Fset.Position(pos)
+	hit := false
+	for _, s := range u.suppressions() {
+		if s.reason == "" || s.analyzer == "" {
+			continue
+		}
+		if s.analyzer != analyzer && s.analyzer != "all" {
+			continue
+		}
+		if s.file == p.Filename && (s.line == p.Line || s.line == p.Line-1) {
+			s.used = true
+			hit = true
+		}
+	}
+	return hit
 }
 
 // Run applies the analyzers to the unit, resolves suppressions, reports
-// malformed suppressions, drops diagnostics in _test.go files, and returns
-// the surviving findings sorted by position. A non-nil error means an
-// analyzer itself failed (not that it found violations).
+// malformed and stale suppressions, drops diagnostics in _test.go files,
+// and returns the surviving findings sorted by position. A non-nil error
+// means an analyzer itself failed (not that it found violations).
 func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
@@ -165,6 +211,7 @@ func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     u.Files,
 			Pkg:       u.Pkg,
 			TypesInfo: u.Info,
+			Unit:      u,
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {
@@ -176,7 +223,7 @@ func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
-	sups := collectSuppressions(u)
+	sups := u.suppressions()
 
 	// Validate suppressions: a reason is mandatory, and the analyzer name
 	// must exist (catching typos that would otherwise silently suppress
@@ -197,10 +244,10 @@ func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 	// Apply valid suppressions: a comment covers its own line and the
 	// line below (so it can trail the offending statement or sit above
-	// it).
+	// it). Suppresses marks the covering comment used.
 	kept := diags[:0]
 	for _, d := range diags {
-		if d.Analyzer != "hwdpignore" && suppressed(u.Fset, d, sups) {
+		if d.Analyzer != "hwdpignore" && u.Suppresses(d.Analyzer, d.Pos) {
 			continue
 		}
 		p := u.Fset.Position(d.Pos)
@@ -210,6 +257,24 @@ func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 		kept = append(kept, d)
 	}
 	diags = kept
+
+	// Stale-suppression check: a well-formed //hwdp:ignore that covered no
+	// finding in this run — neither a diagnostic above nor a waived site
+	// at fact-collection time — has outlived its bug and must be deleted,
+	// so waivers cannot silently accumulate. "all" waivers are exempt
+	// (they are deliberate fixture-wide blankets), as are suppressions
+	// naming analyzers not part of this run and those in _test.go files
+	// (whose diagnostics are always dropped).
+	for _, s := range sups {
+		if s.used || s.analyzer == "" || s.reason == "" || s.analyzer == "all" {
+			continue
+		}
+		if !known[s.analyzer] || strings.HasSuffix(s.file, "_test.go") {
+			continue
+		}
+		diags = append(diags, Diagnostic{Pos: s.pos, Analyzer: "hwdpignore",
+			Message: fmt.Sprintf("stale suppression: no %s finding on this line or the line below anymore — delete the //hwdp:ignore", s.analyzer)})
+	}
 
 	sort.SliceStable(diags, func(i, j int) bool {
 		pi, pj := u.Fset.Position(diags[i].Pos), u.Fset.Position(diags[j].Pos)
@@ -222,23 +287,6 @@ func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 		return pi.Column < pj.Column
 	})
 	return diags, nil
-}
-
-// suppressed reports whether a valid //hwdp:ignore covers the diagnostic.
-func suppressed(fset *token.FileSet, d Diagnostic, sups []suppression) bool {
-	p := fset.Position(d.Pos)
-	for _, s := range sups {
-		if s.reason == "" || s.analyzer == "" {
-			continue
-		}
-		if s.analyzer != d.Analyzer && s.analyzer != "all" {
-			continue
-		}
-		if s.file == p.Filename && (s.line == p.Line || s.line == p.Line-1) {
-			return true
-		}
-	}
-	return false
 }
 
 // HotPathPackages matches the import paths of the packages holding the

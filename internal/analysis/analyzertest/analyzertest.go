@@ -25,17 +25,18 @@ import (
 	"testing"
 
 	"hwdp/internal/analysis"
+	"hwdp/internal/analysis/callgraph"
 )
 
 // Run loads testdata/src/<pkgpath>, applies the analyzers, and compares
 // the resulting diagnostics against the fixture's `// want` expectations.
+// Callgraph facts are threaded exactly as in a real run: the fixture's
+// hwdp/... imports are summarized dependency-first into a shared registry
+// before the fixture itself, so the interprocedural analyzers (laneescape,
+// hotalloc) see cross-package reachability inside testdata too.
 func Run(t *testing.T, testdata, pkgpath string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
-	ld := newLoader(filepath.Join(testdata, "src"))
-	unit, err := ld.load(pkgpath)
-	if err != nil {
-		t.Fatalf("loading %s: %v", pkgpath, err)
-	}
+	unit := Load(t, testdata, pkgpath)
 	diags, err := analysis.Run(unit, analyzers)
 	if err != nil {
 		t.Fatalf("running analyzers on %s: %v", pkgpath, err)
@@ -44,15 +45,18 @@ func Run(t *testing.T, testdata, pkgpath string, analyzers ...*analysis.Analyzer
 }
 
 // Load parses and type-checks one fixture package without running any
-// analyzer, for tests that assert on analysis.Run output directly (the
-// suppression-machinery tests, whose diagnostics land on comment lines
-// where a same-line `// want` cannot be written).
+// analyzer (facts threaded as in Run), for tests that assert on
+// analysis.Run output directly (the suppression-machinery tests, whose
+// diagnostics land on comment lines where a same-line `// want` cannot be
+// written).
 func Load(t *testing.T, testdata, pkgpath string) *analysis.Unit {
 	t.Helper()
-	u, err := newLoader(filepath.Join(testdata, "src")).load(pkgpath)
+	ld := newLoader(filepath.Join(testdata, "src"))
+	u, err := ld.load(pkgpath)
 	if err != nil {
 		t.Fatalf("loading %s: %v", pkgpath, err)
 	}
+	ld.summarize(u, callgraph.NewRegistry(), map[string]bool{})
 	return u
 }
 
@@ -124,6 +128,29 @@ func (l *loader) load(path string) (*analysis.Unit, error) {
 	l.units[path] = u
 	l.pkgs[path] = pkg
 	return u, nil
+}
+
+// summarize walks the unit's hwdp/... imports depth-first (imports before
+// importers) and records each package's callgraph facts in reg, mirroring
+// suite.RunAll for fixture trees.
+func (l *loader) summarize(u *analysis.Unit, reg *callgraph.Registry, done map[string]bool) {
+	path := analysis.NormalizePkgPath(u.Pkg.Path())
+	if done[path] {
+		return
+	}
+	done[path] = true
+	imps := u.Pkg.Imports()
+	paths := make([]string, 0, len(imps))
+	for _, imp := range imps {
+		paths = append(paths, analysis.NormalizePkgPath(imp.Path()))
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if dep, ok := l.units[p]; ok {
+			l.summarize(dep, reg, done)
+		}
+	}
+	callgraph.Summarize(u, reg)
 }
 
 // expectation is one `// want` pattern anchored to a file line.

@@ -1,0 +1,140 @@
+package callgraph
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Step is one hop of a call chain: the callee reached and the position of
+// the call (or binding) that reached it, in the caller's package.
+type Step struct {
+	// Callee is the global key of the function entered.
+	Callee string
+	// CallPos is the "file.go:line" site of the call in the caller.
+	CallPos string
+}
+
+// Finding is one atom reached from a root by the transitive walk.
+type Finding struct {
+	// Root is the walk's starting function key.
+	Root string
+	// Func is the key of the function containing the atom.
+	Func string
+	// Atom is the reached site.
+	Atom *Atom
+	// Chain is the call path from Root to Func (empty when the atom is in
+	// the root itself).
+	Chain []Step
+	// FirstHopPos is the token position of the first call out of the
+	// root, valid in the summarizing process (the root's own package is
+	// always summarized by the reporting pass). Zero when the atom is in
+	// the root itself — report at Atom's own position then.
+	FirstHopPos token.Pos
+}
+
+// ReportPos returns the position to anchor a diagnostic for the finding:
+// the atom's own position when it sits in the root function (always in
+// the reporting package), otherwise the first call out of the root.
+func (f *Finding) ReportPos() token.Pos {
+	if len(f.Chain) == 0 {
+		return f.Atom.pos
+	}
+	return f.FirstHopPos
+}
+
+// pred records how the walk first reached a function.
+type pred struct {
+	from string
+	edge *Edge
+}
+
+// Reachable walks the merged call graph from root and returns every atom
+// of the named analyzer in reach, each with its discovery chain. The walk
+// is breadth-first with edges taken in summary (source) order, so results
+// are deterministic. When honorCold is true (hotalloc), functions carrying
+// a //hwdp:coldpath reason are not entered; laneescape passes false — cold
+// code still runs on its lane.
+//
+// Unknown targets (standard library, packages outside the registry) are
+// treated as opaque: the walk stops there, and any allocation or
+// lane-unsafety behind them must have been recorded as an atom at the call
+// site during summarization.
+func (r *Registry) Reachable(root, analyzer string, honorCold bool) []Finding {
+	preds := map[string]pred{root: {}}
+	queue := []string{root}
+	var out []Finding
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		ff := r.Func(key)
+		if ff == nil {
+			continue
+		}
+		for i := range ff.Atoms {
+			a := &ff.Atoms[i]
+			if a.Analyzer != analyzer {
+				continue
+			}
+			f := Finding{Root: root, Func: key, Atom: a}
+			f.Chain, f.FirstHopPos = r.chain(preds, root, key)
+			out = append(out, f)
+		}
+		for i := range ff.Edges {
+			e := &ff.Edges[i]
+			targets := []string{e.Target}
+			if e.Kind == "iface" {
+				targets = r.methodImpls(e.Target)
+			}
+			for _, t := range targets {
+				if _, seen := preds[t]; seen {
+					continue
+				}
+				if honorCold {
+					if tf := r.Func(t); tf != nil && tf.Cold != "" {
+						continue
+					}
+				}
+				preds[t] = pred{from: key, edge: e}
+				queue = append(queue, t)
+			}
+		}
+	}
+	return out
+}
+
+// chain reconstructs the call path root -> ... -> key from the
+// predecessor map, returning the steps and the token position of the
+// first hop out of the root.
+func (r *Registry) chain(preds map[string]pred, root, key string) ([]Step, token.Pos) {
+	var rev []Step
+	var firstHop token.Pos
+	for key != root {
+		p := preds[key]
+		rev = append(rev, Step{Callee: key, CallPos: p.edge.Pos})
+		if p.from == root {
+			firstHop = p.edge.pos
+		}
+		key = p.from
+	}
+	steps := make([]Step, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		steps = append(steps, rev[i])
+	}
+	return steps, firstHop
+}
+
+// RenderChain formats a discovery chain for a diagnostic:
+// "smu.(SMU).admit (smu.go:530) -> trace.(Miss).AddSpan (trace.go:162)".
+func RenderChain(chain []Step) string {
+	var b strings.Builder
+	for i, s := range chain {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		b.WriteString(DisplayKey(s.Callee))
+		b.WriteString(" (")
+		b.WriteString(s.CallPos)
+		b.WriteString(")")
+	}
+	return b.String()
+}

@@ -15,8 +15,6 @@ package eventcapture
 
 import (
 	"go/ast"
-	"go/types"
-	"sort"
 	"strings"
 
 	"hwdp/internal/analysis"
@@ -60,56 +58,13 @@ func checkSchedule(pass *analysis.Pass, call *ast.CallExpr) {
 		if !ok {
 			continue
 		}
-		caps := capturedVars(pass, lit)
+		caps := analysis.CapturedVars(pass.TypesInfo, pass.Pkg, lit)
 		if len(caps) == 0 {
 			continue
 		}
 		pass.Reportf(lit.Pos(), "closure passed to sim.Engine.%s captures %s, allocating a closure environment per event on the hot path: use a pre-bound callback or the pooled PostArg/AtArgPooled forms",
 			name, joinVars(caps))
 	}
-}
-
-// capturedVars lists the names of local variables the closure captures:
-// identifiers resolving to function-scoped variables declared outside the
-// closure body. Package-level variables, fields, and the closure's own
-// parameters and locals are not captures.
-func capturedVars(pass *analysis.Pass, lit *ast.FuncLit) []string {
-	seen := map[*types.Var]bool{}
-	var names []string
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		id, ok := n.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
-		if !ok || seen[v] || v.IsField() {
-			return true
-		}
-		if !insideFunc(v, pass.Pkg) {
-			return true // package-level or imported: static, no environment
-		}
-		if lit.Pos() <= v.Pos() && v.Pos() < lit.End() {
-			return true // declared inside the closure (param or local)
-		}
-		seen[v] = true
-		names = append(names, v.Name())
-		return true
-	})
-	sort.Strings(names)
-	return names
-}
-
-// insideFunc reports whether v is declared in some function's scope (as
-// opposed to package or universe scope) of pkg.
-func insideFunc(v *types.Var, pkg *types.Package) bool {
-	if v.Pkg() == nil || v.Pkg().Path() != pkg.Path() {
-		return false
-	}
-	scope := v.Parent()
-	if scope == nil {
-		return false // fields, unresolved
-	}
-	return scope != v.Pkg().Scope() && scope != types.Universe
 }
 
 // joinVars renders a captured-variable list for the diagnostic.

@@ -1,0 +1,116 @@
+// Package hotalloc turns the miss-path allocation pins (AllocsPerRun in
+// internal/smu and internal/sim, BenchmarkHandleMiss) into a static
+// guarantee: from every function annotated
+//
+//	//hwdp:hotpath
+//
+// it walks all transitively reachable callees through the callgraph facts
+// and diagnoses anything that can touch the heap — escaping composite
+// literals, closure-environment captures, interface-conversion boxing,
+// append growth, map/slice/chan makes, string building, and allocating
+// standard-library calls — reporting the callee chain that reaches the
+// site.
+//
+// Descent stops at functions annotated
+//
+//	//hwdp:coldpath <reason>
+//
+// (failure/diagnostic paths that run off the steady state), inside
+// //hwdp:pool accessors (pool growth is the amortized warm-up allocation
+// the pins already discount), and inside panic(...) arguments. The
+// annotations matter at the boundaries the call graph cannot see: event
+// callbacks dispatched through pooled func values (the engine fire loop)
+// are reached dynamically, not through a static edge, so each stage entry
+// point on the miss path carries its own //hwdp:hotpath root.
+package hotalloc
+
+import (
+	"go/ast"
+	"strings"
+
+	"hwdp/internal/analysis"
+	"hwdp/internal/analysis/callgraph"
+)
+
+// Analyzer is the hotalloc check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "prove //hwdp:hotpath functions reach no heap allocation " +
+		"(composite escapes, closures, boxing, append growth, allocating " +
+		"stdlib calls), reporting the reaching call chain",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.HasPrefix(analysis.NormalizePkgPath(pass.Pkg.Path()), "hwdp") {
+		return nil
+	}
+	var roots []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			hot, cold, coldSeen := directives(fd.Doc)
+			if coldSeen && cold == "" {
+				pass.Reportf(fd.Name.Pos(), "//hwdp:coldpath needs a reason: say why %s is off the steady-state path", fd.Name.Name)
+			}
+			if hot && coldSeen {
+				pass.Reportf(fd.Name.Pos(), "%s is marked both //hwdp:hotpath and //hwdp:coldpath — pick one", fd.Name.Name)
+			}
+			if hot && fd.Body != nil {
+				roots = append(roots, fd)
+			}
+		}
+	}
+	reg, ok := pass.Unit.Facts.(*callgraph.Registry)
+	if !ok {
+		return nil // fact-less driver: directive validation only
+	}
+	seen := map[string]bool{}
+	for _, fd := range roots {
+		root := callgraph.DeclFuncKey(pass.TypesInfo, fd)
+		if root == "" {
+			continue
+		}
+		for _, finding := range reg.Reachable(root, "hotalloc", true) {
+			key := finding.Func + "|" + finding.Atom.Pos + "|" + finding.Atom.Kind
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			pos := finding.ReportPos()
+			if !pos.IsValid() {
+				pos = fd.Name.Pos()
+			}
+			if len(finding.Chain) == 0 {
+				pass.Reportf(pos, "hot path %s: %s — the miss path must stay allocation-free (pool the object, pre-bind the callback, or mark the branch //hwdp:coldpath <reason>)",
+					callgraph.DisplayKey(root), finding.Atom.Msg)
+				continue
+			}
+			pass.Reportf(pos, "hot path %s reaches a heap allocation: %s: %s at %s — pool it, pre-bind it, or mark the branch //hwdp:coldpath <reason>",
+				callgraph.DisplayKey(root), callgraph.RenderChain(finding.Chain), finding.Atom.Msg, finding.Atom.Pos)
+		}
+	}
+	return nil
+}
+
+// directives parses the hotpath/coldpath annotations off a doc comment,
+// reporting whether a coldpath directive was present at all (so a
+// reason-less one can be diagnosed).
+func directives(doc *ast.CommentGroup) (hot bool, cold string, coldSeen bool) {
+	if doc == nil {
+		return false, "", false
+	}
+	for _, c := range doc.List {
+		switch {
+		case c.Text == callgraph.HotDirective || strings.HasPrefix(c.Text, callgraph.HotDirective+" "):
+			hot = true
+		case c.Text == callgraph.ColdDirective || strings.HasPrefix(c.Text, callgraph.ColdDirective+" "):
+			coldSeen = true
+			cold = strings.TrimSpace(strings.TrimPrefix(c.Text, callgraph.ColdDirective))
+		}
+	}
+	return hot, cold, coldSeen
+}

@@ -1,0 +1,16 @@
+package laneescape_test
+
+import (
+	"testing"
+
+	"hwdp/internal/analysis/analyzertest"
+	"hwdp/internal/analysis/laneescape"
+)
+
+// TestLaneEscape drives the transitive lane-safety proof over the escape
+// fixture: a lane-hosted package reaching package-level writes, host
+// locks, and goroutine launches through a helper package lanesafety never
+// examines, plus the local SendArg payload-aliasing check.
+func TestLaneEscape(t *testing.T) {
+	analyzertest.Run(t, "../testdata", "hwdp/internal/mmu/escape", laneescape.Analyzer)
+}

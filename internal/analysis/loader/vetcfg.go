@@ -1,0 +1,92 @@
+package loader
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+
+	"hwdp/internal/analysis"
+)
+
+// VetConfig mirrors the JSON the go command writes to <objdir>/vet.cfg
+// for each vetted package (cmd/go/internal/work.vetConfig). PackageVetx
+// names the facts files of the package's dependencies (written by earlier
+// tool invocations), VetxOutput is where this invocation must write its
+// own facts, and VetxOnly marks dependency-only runs that exist purely to
+// produce facts.
+type VetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// ReadVetConfig parses a vet.cfg file.
+func ReadVetConfig(path string) (*VetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	return &cfg, nil
+}
+
+// LoadUnit parses and type-checks the package a vet.cfg describes,
+// resolving imports through the gc export data the go command supplied.
+// Parse and type errors are returned as-is; the caller decides whether
+// SucceedOnTypecheckFailure downgrades them.
+func (cfg *VetConfig) LoadUnit() (*analysis.Unit, error) {
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	files, err := ParseFiles(fset, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		Sizes:     types.SizesFor(compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+	return &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}

@@ -1,0 +1,16 @@
+package statuscase_test
+
+import (
+	"testing"
+
+	"hwdp/internal/analysis/analyzertest"
+	"hwdp/internal/analysis/statuscase"
+)
+
+// TestStatusCase drives the exhaustive-switch check over the statustest
+// fixture: a default-less switch missing a member reports, a default arm
+// satisfies the unmarked form, and //hwdp:exhaustive forbids hiding
+// behind the default.
+func TestStatusCase(t *testing.T) {
+	analyzertest.Run(t, "../testdata", "statustest", statuscase.Analyzer)
+}

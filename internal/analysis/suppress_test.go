@@ -57,3 +57,30 @@ func TestSuppressionMachinery(t *testing.T) {
 		}
 	}
 }
+
+// TestStaleSuppression drives the stale-waiver check over the staletest
+// fixture: a //hwdp:ignore still covering a finding is silently consumed,
+// while one whose finding has been fixed is itself reported, so waivers
+// cannot outlive their bugs.
+func TestStaleSuppression(t *testing.T) {
+	u := analyzertest.Load(t, "testdata", "staletest")
+	diags, err := analysis.Run(u, []*analysis.Analyzer{simtime.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		for _, d := range diags {
+			t.Logf("got: [%s] %s: %s", d.Analyzer, u.Fset.Position(d.Pos), d.Message)
+		}
+		t.Fatalf("got %d diagnostics, want exactly the stale-suppression report", len(diags))
+	}
+	d := diags[0]
+	if d.Analyzer != "hwdpignore" || !strings.Contains(d.Message, "stale suppression") {
+		t.Errorf("diagnostic = [%s] %q, want [hwdpignore] stale suppression", d.Analyzer, d.Message)
+	}
+	// The report must anchor to the dead waiver in stale(), not to the
+	// live one in live() that still covers its finding.
+	if line := u.Fset.Position(d.Pos).Line; line != 16 {
+		t.Errorf("stale report at line %d, want 16 (the dead //hwdp:ignore)", line)
+	}
+}

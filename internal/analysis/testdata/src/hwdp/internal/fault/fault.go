@@ -1,0 +1,14 @@
+// Package fault is the statuscase fixture stub: it reuses the real
+// import path so constants of type Kind form the analyzer's second
+// registered enum family.
+package fault
+
+// Kind classifies injected faults (stub).
+type Kind uint8
+
+// Fault kinds (stub).
+const (
+	None Kind = iota
+	Transient
+	UECC
+)

@@ -1,0 +1,63 @@
+// Package escape is the laneescape analyzer fixture: a lane-hosted model
+// package (the mmu/ subtree is sharded onto engine lanes) whose functions
+// reach host-global state through helper packages that lanesafety's
+// package gate never examines, plus the local SendArg payload-aliasing
+// check.
+package escape
+
+import (
+	"hwdp/internal/counters"
+	"hwdp/internal/sim"
+)
+
+// Walker is the fixture's lane-hosted component.
+type Walker struct {
+	eng  *sim.Engine
+	peer *sim.Engine
+	hits uint64
+}
+
+// CountMiss reaches a package-level write one call away.
+func (w *Walker) CountMiss() {
+	counters.Bump(1) // want `lane-hosted mmu/escape\.\(Walker\)\.CountMiss reaches lane-unsafe state: counters\.Bump \(escape\.go:\d+\): write to package-level variable Total \(reachable from every engine lane at once\) at counters\.go:\d+`
+}
+
+// LockedCount reaches host synchronization two calls away; the lock, the
+// write, and the unlock each report at the first hop out of the root.
+func (w *Walker) LockedCount() {
+	w.tally() // want `lane-hosted mmu/escape\.\(Walker\)\.LockedCount reaches lane-unsafe state: mmu/escape\.\(Walker\)\.tally \(escape\.go:\d+\) -> counters\.Locked \(escape\.go:\d+\): sync\.Lock couples event outcomes to host-scheduler timing at counters\.go:\d+` `write to package-level variable Total` `sync\.Unlock couples event outcomes to host-scheduler timing`
+}
+
+func (w *Walker) tally() {
+	counters.Locked(1)
+}
+
+// Detach hands a callback to a helper that launches a goroutine.
+func (w *Walker) Detach(fn func()) {
+	counters.Spawn(fn) // want `lane-hosted mmu/escape\.\(Walker\)\.Detach reaches lane-unsafe state: counters\.Spawn \(escape\.go:\d+\): go statement starts a host-scheduled goroutine at counters\.go:\d+`
+}
+
+// Deliver is clean: cross-lane work flows through an engine send.
+func (w *Walker) Deliver(d sim.Time) {
+	w.eng.Send(w.peer, d, nothing)
+}
+
+func nothing() {}
+
+// Payload crosses lanes by pointer.
+type Payload struct{ N int }
+
+// Ship hands p to the peer lane and then touches it again: the receiving
+// lane owns the payload from the send on, so the late use is a race.
+func (w *Walker) Ship(d sim.Time, p *Payload) {
+	w.eng.SendArg(w.peer, d, recv, p)
+	p.N++ // want `payload p is used after being handed across lanes via SendArg`
+}
+
+// ShipClean finishes all sender-side use before the send: clean.
+func (w *Walker) ShipClean(d sim.Time, p *Payload) {
+	p.N++
+	w.eng.SendArg(w.peer, d, recv, p)
+}
+
+func recv(arg any) {}

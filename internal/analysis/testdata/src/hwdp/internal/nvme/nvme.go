@@ -1,0 +1,11 @@
+// Package nvme is the statuscase fixture stub: it reuses the real import
+// path so the Status*-prefixed constants here form the analyzer's first
+// registered enum family, with a member set small enough for fixtures.
+package nvme
+
+// Completion status codes (stub).
+const (
+	StatusSuccess        uint16 = 0x0
+	StatusCmdInterrupted uint16 = 0x21
+	StatusUncorrectable  uint16 = 0x281
+)

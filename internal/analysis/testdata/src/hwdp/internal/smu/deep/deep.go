@@ -1,0 +1,12 @@
+// Package deep is the transitively-reached helper of the hotalloc
+// fixture: the planted allocation the acceptance walk must catch lives
+// here, two hops and one package boundary away from the //hwdp:hotpath
+// root in the parent package.
+package deep
+
+var log []uint64
+
+// Record plants the allocation the interprocedural walk must reach.
+func Record(va uint64) {
+	log = append(log, va)
+}

@@ -1,0 +1,18 @@
+// Package staletest exercises the stale-suppression check: a waiver that
+// still covers a finding stays silent, one that has outlived its bug is
+// itself reported. Expectations are asserted programmatically (see
+// internal/analysis/suppress_test.go) because the hwdpignore diagnostics
+// land on the comment lines themselves.
+package staletest
+
+import "hwdp/internal/sim"
+
+func live() sim.Time {
+	//hwdp:ignore simtime fixture: covers the finding below, stays used
+	return sim.Time(5)
+}
+
+func stale() sim.Time {
+	//hwdp:ignore simtime fixture: the finding it covered is gone
+	return 5 * sim.Microsecond
+}

@@ -1,0 +1,66 @@
+// Package statustest is the statuscase analyzer fixture: switches over
+// the NVMe status and fault-kind enum stubs in every legal and illegal
+// shape.
+package statustest
+
+import (
+	"hwdp/internal/fault"
+	"hwdp/internal/nvme"
+)
+
+// missingNoDefault silently drops StatusUncorrectable.
+func missingNoDefault(s uint16) int {
+	switch s { // want `switch over NVMe status silently falls through for StatusUncorrectable — add the missing cases or a default arm`
+	case nvme.StatusSuccess:
+		return 0
+	case nvme.StatusCmdInterrupted:
+		return 1
+	}
+	return -1
+}
+
+// defaultCovers is fine: an unmarked switch may hide behind a default.
+func defaultCovers(s uint16) int {
+	switch s {
+	case nvme.StatusSuccess:
+		return 0
+	default:
+		return -1
+	}
+}
+
+// markedExhaustive demands full coverage even though a default exists.
+func markedExhaustive(k fault.Kind) int {
+	//hwdp:exhaustive
+	switch k { // want `switch over fault kind is marked //hwdp:exhaustive but misses UECC — handle every member explicitly`
+	case fault.None:
+		return 0
+	case fault.Transient:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// fullCoverage is clean without any default arm.
+func fullCoverage(k fault.Kind) int {
+	switch k {
+	case fault.None:
+		return 0
+	case fault.Transient:
+		return 1
+	case fault.UECC:
+		return 2
+	}
+	return -1
+}
+
+// notAFamily is clean: switches over unregistered constants are ignored.
+func notAFamily(n int) int {
+	const local = 1
+	switch n {
+	case local:
+		return 1
+	}
+	return 0
+}

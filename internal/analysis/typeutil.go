@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"sort"
 )
 
 // CalleeFunc resolves the *types.Func a call expression invokes, or nil
@@ -107,6 +108,50 @@ func IsEngineScheduler(fn *types.Func) (string, bool) {
 		return "", false
 	}
 	return fn.Name(), true
+}
+
+// CapturedVars lists the names of local variables a closure captures:
+// identifiers resolving to function-scoped variables declared outside the
+// closure body. Package-level variables, fields, and the closure's own
+// parameters and locals are not captures. A closure with no captures
+// compiles to a static function value and never allocates an environment.
+func CapturedVars(info *types.Info, pkg *types.Package, lit *ast.FuncLit) []string {
+	seen := map[*types.Var]bool{}
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || seen[v] || v.IsField() {
+			return true
+		}
+		if !varInsideFunc(v, pkg) {
+			return true // package-level or imported: static, no environment
+		}
+		if lit.Pos() <= v.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the closure (param or local)
+		}
+		seen[v] = true
+		names = append(names, v.Name())
+		return true
+	})
+	sort.Strings(names)
+	return names
+}
+
+// varInsideFunc reports whether v is declared in some function's scope (as
+// opposed to package or universe scope) of pkg.
+func varInsideFunc(v *types.Var, pkg *types.Package) bool {
+	if v.Pkg() == nil || v.Pkg().Path() != pkg.Path() {
+		return false
+	}
+	scope := v.Parent()
+	if scope == nil {
+		return false // fields, unresolved
+	}
+	return scope != v.Pkg().Scope() && scope != types.Universe
 }
 
 // FuncDecls indexes the package's function declarations by their type

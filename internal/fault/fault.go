@@ -183,6 +183,7 @@ func (in *Injector) Decide(read bool, lba uint64, queue uint16) Decision {
 		}
 		in.injected[i]++
 		in.stats.Injected++
+		//hwdp:exhaustive
 		switch r.Kind {
 		case Transient:
 			in.stats.Transient++
@@ -192,6 +193,9 @@ func (in *Injector) Decide(read bool, lba uint64, queue uint16) Decision {
 			in.stats.Drops++
 		case Spike:
 			in.stats.Spikes++
+		case None:
+			// A rule with Kind None matches but injects nothing; only the
+			// aggregate Injected counter above moves.
 		}
 		sf := r.SpikeFactor
 		if sf <= 1 {

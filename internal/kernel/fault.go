@@ -17,6 +17,8 @@ import (
 // Thread (set by Access). hwFailed marks an HWDP miss bounced for an empty
 // free page queue. ms is the miss's trace context (nil when tracing is
 // disabled).
+//
+//hwdp:coldpath OS exception path — the software fallback the hardware miss path exists to avoid; microseconds of kernel time dwarf any allocation here
 func (k *Kernel) handleFault(ctx any, as *mmu.AddressSpace, va pagetable.VAddr,
 	write, hwFailed bool, ms *trace.Miss, done func()) {
 	th, ok := ctx.(*Thread)

@@ -1,0 +1,77 @@
+package mmu
+
+import (
+	"testing"
+
+	"hwdp/internal/mem"
+	"hwdp/internal/nvme"
+	"hwdp/internal/pagetable"
+	"hwdp/internal/sim"
+	"hwdp/internal/smu"
+	"hwdp/internal/ssd"
+)
+
+// TestAccessMissAllocationBudget pins the MMU side of the steady-state
+// hardware miss path — TLB miss, pooled walk request, page-table walk,
+// miss dispatch through the pooled continuation (HandleMissArg + the
+// missDone trampoline), TLB fill and completion callback — at zero
+// allocations, complementing the SMU-side pin in internal/smu. This is
+// the regression guard for the de-closured walk path: reintroducing a
+// per-miss closure in walk or prefetch trips it immediately.
+func TestAccessMissAllocationBudget(t *testing.T) {
+	eng := sim.NewEngine()
+	prof := ssd.ZSSD
+	prof.JitterFrac = 0
+	dev := ssd.New(eng, prof, sim.NewRand(1), nil)
+	dev.AddNamespace(nvme.Namespace{ID: 1, Blocks: 1 << 30})
+	s := smu.New(eng, 0, 4096)
+	qp := nvme.NewQueuePair(1, 64)
+	s.AttachDevice(0, dev, qp, 1)
+	m := New(eng)
+	m.AttachSMU(s)
+	as := &AddressSpace{ASID: 1, Table: pagetable.New()}
+
+	recs := make([]smu.FrameRecord, 1<<12)
+	for i := range recs {
+		recs[i] = smu.RecordFor(mem.FrameID(1000 + i))
+	}
+	s.Refill(recs)
+
+	// Pre-build the page-table structure for a rotating set of pages so
+	// the measured runs never extend the radix tree.
+	const pages = 64
+	vas := make([]pagetable.VAddr, pages)
+	ptes := make([]pagetable.EntryRef, pages)
+	blks := make([]pagetable.BlockAddr, pages)
+	for i := range vas {
+		vas[i] = pagetable.VAddr(0x100000 + i*4096)
+		_, _, pte := as.Table.Ensure(vas[i])
+		ptes[i] = pte
+		blks[i] = pagetable.BlockAddr{LBA: uint64(42 + i)}
+	}
+	done := false
+	complete := func(Result) { done = true }
+	iter := 0
+
+	got := testing.AllocsPerRun(500, func() {
+		if s.FreeQueue().Len()+s.FreeQueue().Buffered() < 8 {
+			s.Refill(recs)
+		}
+		i := iter % pages
+		iter++
+		// Rearm the page: back to LBA state, out of the TLB, so every
+		// iteration takes the full hardware miss path.
+		ptes[i].Set(pagetable.MakeLBA(blks[i], pagetable.Prot{}))
+		m.tlb.Invalidate(as.ASID, vas[i].PageNumber())
+		done = false
+		m.Access(as, vas[i], false, nil, complete)
+		for !done && eng.Step() {
+		}
+		if !done {
+			t.Fatal("miss never completed")
+		}
+	})
+	if got != 0 {
+		t.Fatalf("steady-state MMU miss path allocates %.1f objects/op, want 0", got)
+	}
+}

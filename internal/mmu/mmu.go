@@ -125,9 +125,13 @@ type MMU struct {
 
 	// walkCb is the pre-bound runWalk callback and walkFree the walkReq
 	// free list: together they make walk scheduling allocation-free (one
-	// walkReq per in-flight walk, recycled forever).
+	// walkReq per in-flight walk, recycled forever). missFree and pfFree
+	// recycle the SMU-dispatch continuations the same way (one missCont per
+	// in-flight hardware miss, one prefetchCont per speculative fetch).
 	walkCb   func(any)
 	walkFree []*walkReq
+	missFree []*missCont
+	pfFree   []*prefetchCont
 }
 
 // walkReq carries a pending walk's arguments through the engine's pooled
@@ -139,6 +143,33 @@ type walkReq struct {
 	write bool
 	done  func(Result)
 	t0    sim.Time
+}
+
+// missCont carries a dispatched hardware miss's completion state through
+// the SMU's pooled callback path (HandleMissArg + the missDone
+// trampoline), replacing the per-miss closure the MMU used to allocate.
+type missCont struct {
+	m       *MMU
+	ctx     any
+	as      *AddressSpace
+	va      pagetable.VAddr
+	write   bool
+	done    func(Result)
+	retried bool
+	t0      sim.Time
+	core    int
+	ms      *trace.Miss
+	pte     pagetable.EntryRef
+}
+
+// prefetchCont carries one speculative prefetch's TLB-install state
+// through HandleMissArg (nobody waits on a prefetch; only the TLB insert
+// remains when the block arrives).
+type prefetchCont struct {
+	m   *MMU
+	as  *AddressSpace
+	va  pagetable.VAddr
+	pte pagetable.EntryRef
 }
 
 // New builds an MMU with the default TLB geometry and walk latency.
@@ -179,6 +210,8 @@ func (m *MMU) SetOSFaultHandler(fn OSFaultFunc) { m.osFault = fn }
 // bit.
 // The opaque ctx is handed to the OS fault handler unchanged (the kernel
 // passes the faulting thread).
+//
+//hwdp:hotpath
 func (m *MMU) Access(as *AddressSpace, va pagetable.VAddr, write bool, ctx any, done func(Result)) {
 	m.stats.Accesses++
 	vpn := va.PageNumber()
@@ -220,7 +253,43 @@ func (m *MMU) putWalkReq(r *walkReq) {
 	m.walkFree = append(m.walkFree, r)
 }
 
+//hwdp:pool acquire misscont
+func (m *MMU) getMissCont() *missCont {
+	if n := len(m.missFree); n > 0 {
+		c := m.missFree[n-1]
+		m.missFree[n-1] = nil
+		m.missFree = m.missFree[:n-1]
+		return c
+	}
+	return new(missCont)
+}
+
+//hwdp:pool release misscont
+func (m *MMU) putMissCont(c *missCont) {
+	*c = missCont{}
+	m.missFree = append(m.missFree, c)
+}
+
+//hwdp:pool acquire prefetchcont
+func (m *MMU) getPrefetchCont() *prefetchCont {
+	if n := len(m.pfFree); n > 0 {
+		c := m.pfFree[n-1]
+		m.pfFree[n-1] = nil
+		m.pfFree = m.pfFree[:n-1]
+		return c
+	}
+	return new(prefetchCont)
+}
+
+//hwdp:pool release prefetchcont
+func (m *MMU) putPrefetchCont(c *prefetchCont) {
+	*c = prefetchCont{}
+	m.pfFree = append(m.pfFree, c)
+}
+
 // runWalk unpacks a pooled walkReq and starts the walk proper.
+//
+//hwdp:hotpath
 func (m *MMU) runWalk(arg any) {
 	r := arg.(*walkReq)
 	ctx, as, va, write, done, t0 := r.ctx, r.as, r.va, r.write, r.done, r.t0
@@ -282,27 +351,10 @@ func (m *MMU) walk(ctx any, as *AddressSpace, va pagetable.VAddr, write bool, do
 			ms.AddSpan(trace.LayerMMU, "tlb-miss+walk", t0, m.eng.Now())
 		}
 		req := smu.Request{PUD: pud, PMD: pmd, PTE: pte, Block: blk, Prot: e.Prot(), Core: core, Trace: ms}
-		s.HandleMiss(req, func(res smu.Result, newPTE pagetable.Entry) {
-			switch res {
-			case smu.ResultOK:
-				if write {
-					// A freshly installed PTE is always clean.
-					pte.Set(pte.Get().WithFlags(pagetable.FlagDirty))
-					if m.OnDirty != nil {
-						m.OnDirty()
-					}
-				}
-				m.tlb.Insert(as.ASID, va.PageNumber(), pte)
-				ms.Finish(m.eng.Now())
-				done(Result{OutcomeHW, pte.Get()})
-			default:
-				// Free page queue empty (or I/O error): raise the
-				// exception after all.
-				m.stats.HWBounced++
-				ms.SetCause(trace.CauseBounced)
-				m.raiseOS(ctx, as, va, write, true, done, retried, t0, core, ms)
-			}
-		})
+		c := m.getMissCont()
+		c.m, c.ctx, c.as, c.va, c.write, c.done = m, ctx, as, va, write, done
+		c.retried, c.t0, c.core, c.ms, c.pte = retried, t0, core, ms, pte
+		s.HandleMissArg(req, missDone, c)
 		m.prefetch(as, va, core, s)
 
 	case pagetable.StateNotPresentOS:
@@ -330,14 +382,58 @@ func (m *MMU) prefetch(as *AddressSpace, va pagetable.VAddr, core int, s *smu.SM
 		}
 		m.stats.Prefetches++
 		req := smu.Request{PUD: pud, PMD: pmd, PTE: pte, Block: blk, Prot: e.Prot(), Core: core}
-		s.HandleMiss(req, func(res smu.Result, _ pagetable.Entry) {
-			if res == smu.ResultOK {
-				m.tlb.Insert(as.ASID, nva.PageNumber(), pte)
-			}
-		})
+		pc := m.getPrefetchCont()
+		pc.m, pc.as, pc.va, pc.pte = m, as, nva, pte
+		s.HandleMissArg(req, prefetchDone, pc)
 	}
 }
 
+// missDone resumes a dispatched walk when the SMU broadcasts its result
+// (the HandleMissArg trampoline bound to a pooled missCont).
+func missDone(arg any, res smu.Result, _ pagetable.Entry) {
+	c := arg.(*missCont)
+	m := c.m
+	switch res {
+	case smu.ResultOK:
+		if c.write {
+			// A freshly installed PTE is always clean.
+			c.pte.Set(c.pte.Get().WithFlags(pagetable.FlagDirty))
+			if m.OnDirty != nil {
+				m.OnDirty()
+			}
+		}
+		m.tlb.Insert(c.as.ASID, c.va.PageNumber(), c.pte)
+		c.ms.Finish(m.eng.Now())
+		done, pte := c.done, c.pte
+		// Release before the callback: done may start another access that
+		// reuses the record.
+		m.putMissCont(c)
+		done(Result{OutcomeHW, pte.Get()})
+	default:
+		// Free page queue empty (or I/O error): raise the
+		// exception after all.
+		m.stats.HWBounced++
+		c.ms.SetCause(trace.CauseBounced)
+		ctx, as, va, write, done := c.ctx, c.as, c.va, c.write, c.done
+		retried, t0, core, ms := c.retried, c.t0, c.core, c.ms
+		m.putMissCont(c)
+		m.raiseOS(ctx, as, va, write, true, done, retried, t0, core, ms)
+	}
+}
+
+// prefetchDone installs a speculatively fetched page's translation (the
+// HandleMissArg trampoline bound to a pooled prefetchCont). Failures are
+// dropped: a prefetch must never cause an OS fault.
+func prefetchDone(arg any, res smu.Result, _ pagetable.Entry) {
+	c := arg.(*prefetchCont)
+	m := c.m
+	if res == smu.ResultOK {
+		m.tlb.Insert(c.as.ASID, c.va.PageNumber(), c.pte)
+	}
+	m.putPrefetchCont(c)
+}
+
+//hwdp:coldpath OS exception path: conventional faults and HW-miss bounces, not the steady-state hardware miss path
 func (m *MMU) raiseOS(ctx any, as *AddressSpace, va pagetable.VAddr, write, hwFailed bool, done func(Result), retried bool, t0 sim.Time, core int, ms *trace.Miss) {
 	if m.osFault == nil || retried {
 		ms.Finish(m.eng.Now())

@@ -25,6 +25,8 @@ const (
 )
 
 // String returns the opcode's NVMe mnemonic.
+//
+//hwdp:coldpath display helper for traces, logs and test failures; never on the steady-state miss path
 func (o Opcode) String() string {
 	switch o {
 	case OpFlush:
@@ -101,6 +103,7 @@ func Decode(b [CommandSize]byte) (Command, error) {
 	switch c.Opcode {
 	case OpFlush, OpWrite, OpRead:
 	default:
+		//hwdp:ignore hotalloc error construction on the malformed-command return only; commands the SMU encodes always carry a known opcode
 		return Command{}, fmt.Errorf("%w: opcode %#x", ErrBadCommand, uint8(c.Opcode))
 	}
 	return c, nil

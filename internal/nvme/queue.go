@@ -81,6 +81,7 @@ func (q *QueuePair) SQOutstanding() int {
 // the SQ doorbell on the controller for the device to notice.
 func (q *QueuePair) Submit(c Command) error {
 	if q.SQFull() {
+		//hwdp:ignore hotalloc error construction on the queue-full return only; the SMU sizes its isolated queue to PMSHR depth and panics on this error
 		return fmt.Errorf("%w: qid %d", ErrQueueFull, q.ID)
 	}
 	// Encode/decode through the wire format so tests exercise it.

@@ -143,6 +143,7 @@ func (e *Engine) schedule(ev *Event, t Time) {
 	ev.seq = e.seq
 	e.seq++
 	ev.idx = len(e.queue)
+	//hwdp:ignore hotalloc queue growth is amortized: the heap reaches steady-state capacity and append stops allocating
 	e.queue = append(e.queue, ev)
 	e.siftUp(ev.idx)
 }
@@ -178,6 +179,8 @@ func (e *Engine) AtArg(t Time, fn func(any), arg any) *Event {
 // Model components use it for per-operation timeouts and completions whose
 // holder discipline guarantees exactly that (the handle lives in a record
 // that is itself reset at fire/cancel time).
+//
+//hwdp:hotpath
 func (e *Engine) AtArgPooled(t Time, fn func(any), arg any) *Event {
 	ev := e.alloc()
 	ev.pooled = true
@@ -191,6 +194,8 @@ func (e *Engine) AtArgPooled(t Time, fn func(any), arg any) *Event {
 // handle is returned, and the event's storage is recycled after it fires.
 // This is the zero-allocation-steady-state variant of After for call sites
 // that never Cancel.
+//
+//hwdp:hotpath
 func (e *Engine) Post(d Time, fn func()) {
 	ev := e.alloc()
 	ev.pooled = true
@@ -199,6 +204,8 @@ func (e *Engine) Post(d Time, fn func()) {
 }
 
 // PostAt is Post with an absolute deadline.
+//
+//hwdp:hotpath
 func (e *Engine) PostAt(t Time, fn func()) {
 	ev := e.alloc()
 	ev.pooled = true
@@ -210,6 +217,8 @@ func (e *Engine) PostAt(t Time, fn func()) {
 // Combined with a pre-bound method value it makes the whole schedule/fire
 // path allocation-free: no event, no closure, and no interface boxing for
 // pointer-shaped args.
+//
+//hwdp:hotpath
 func (e *Engine) PostArg(d Time, fn func(any), arg any) {
 	ev := e.alloc()
 	ev.pooled = true
@@ -220,6 +229,8 @@ func (e *Engine) PostArg(d Time, fn func(any), arg any) {
 
 // Step fires the next pending event, advancing the clock to its timestamp.
 // It returns false when the queue is empty.
+//
+//hwdp:hotpath
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		ev := e.pop()

@@ -143,6 +143,8 @@ func (g *Group) Pending() int {
 // at least the sending lane's declared lookahead (SetLookahead) — a
 // shorter send is detected at delivery and panics, because events beyond
 // its arrival time may already have fired.
+//
+//hwdp:hotpath
 func (e *Engine) Send(dst *Engine, d Time, fn func()) {
 	if dst == e {
 		e.Post(d, fn)
@@ -153,6 +155,8 @@ func (e *Engine) Send(dst *Engine, d Time, fn func()) {
 
 // SendArg is Send with a pre-bound callback and argument, mirroring
 // PostArg: same-engine sends stay on the zero-allocation pooled path.
+//
+//hwdp:hotpath
 func (e *Engine) SendArg(dst *Engine, d Time, fn func(any), arg any) {
 	if dst == e {
 		e.PostArg(d, fn, arg)
@@ -173,6 +177,7 @@ func (e *Engine) crossSend(dst *Engine, d Time, m xmsg) {
 	m.seq = e.obSeq
 	m.src = e.lane
 	e.obSeq++
+	//hwdp:ignore hotalloc outbox growth is amortized: merge recycles the backing arrays, so steady-state rounds append into retained capacity
 	e.outbox[dst.lane] = append(e.outbox[dst.lane], m)
 }
 

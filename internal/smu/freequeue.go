@@ -43,7 +43,14 @@ func NewFreeQueue(depth, bufCap int) *FreeQueue {
 	if depth < 2 || bufCap < 1 {
 		panic("smu: bad free queue geometry")
 	}
-	return &FreeQueue{ring: make([]FrameRecord, depth), depth: depth, bufCap: bufCap}
+	// buf is preallocated to its capacity so the miss path's prefetch
+	// appends never grow it.
+	return &FreeQueue{
+		ring:   make([]FrameRecord, depth),
+		depth:  depth,
+		buf:    make([]FrameRecord, 0, bufCap),
+		bufCap: bufCap,
+	}
 }
 
 // Depth returns the ring capacity (one slot reserved to distinguish full
@@ -90,6 +97,7 @@ func (q *FreeQueue) Prefetch() {
 		q.bufHead = 0
 	}
 	for len(q.buf) < q.bufCap && q.head != q.tail {
+		//hwdp:ignore hotalloc bounded by bufCap, whose backing array is preallocated at construction and reused by compaction
 		q.buf = append(q.buf, q.ring[q.head])
 		q.head = (q.head + 1) % q.depth
 	}
@@ -124,6 +132,7 @@ func (q *FreeQueue) Pop() (rec FrameRecord, fromBuffer, ok bool) {
 // frame is still free and must not leak. The buffer may transiently exceed
 // its capacity; Prefetch simply stays idle until pops drain it back down.
 func (q *FreeQueue) Requeue(rec FrameRecord) {
+	//hwdp:ignore hotalloc failure-path only (frame recycle after I/O error or race yield); a transient over-capacity append drains back via pops
 	q.buf = append(q.buf, rec)
 }
 

@@ -78,6 +78,30 @@ type Request struct {
 // and the result of the page miss handling").
 type DoneFunc func(res Result, pte pagetable.Entry)
 
+// DoneArgFunc is DoneFunc with a caller-supplied context argument, for
+// callers that pool their continuation state (HandleMissArg): done(arg,
+// res, pte) runs with arg passed back verbatim, so the callback can be a
+// plain function or a once-bound method value instead of a per-miss
+// closure.
+type DoneArgFunc func(arg any, res Result, pte pagetable.Entry)
+
+// doneRef is the SMU's internal completion callback: either a bare
+// DoneFunc or a DoneArgFunc with its context. Storing the pair (instead of
+// wrapping the arg form in a DoneFunc) keeps HandleMissArg closure-free.
+type doneRef struct {
+	fn  DoneFunc
+	afn DoneArgFunc
+	arg any
+}
+
+func (d doneRef) call(res Result, pte pagetable.Entry) {
+	if d.afn != nil {
+		d.afn(d.arg, res, pte)
+		return
+	}
+	d.fn(res, pte)
+}
+
 // TraceFunc observes the per-phase latencies of miss handling, used to
 // regenerate the Fig. 11(b) timeline.
 type TraceFunc func(phase string, dur sim.Time)
@@ -132,7 +156,7 @@ type pmshrEntry struct {
 	pteAddr pagetable.EntryAddr
 	req     Request
 	frame   FrameRecord
-	waiters []DoneFunc
+	waiters []doneRef
 
 	// I/O-path state (zero for anonymous zero-fill entries).
 	dev      *devSlot
@@ -156,12 +180,12 @@ type devSlot struct {
 // building a per-miss closure; carriers are pooled.
 type pendingReq struct {
 	req  Request
-	done DoneFunc
+	done doneRef
 }
 
 type backlogItem struct {
 	req  Request
-	done DoneFunc
+	done doneRef
 	at   sim.Time // when the request began waiting for a PMSHR slot
 }
 
@@ -273,7 +297,7 @@ func NewPerCore(eng *sim.Engine, sid uint8, freeQueueDepth, entries, cores int) 
 		n := a.(*doneNotice)
 		done, res, pte := n.done, n.res, n.pte
 		s.putNotice(n)
-		done(res, pte)
+		done.call(res, pte)
 	}
 	s.issueFn = func(a any) { s.issue(a.(*pmshrEntry)) }
 	s.doorbellFn = func(a any) {
@@ -411,7 +435,7 @@ func (s *SMU) getEntry() *pmshrEntry {
 func (s *SMU) putEntry(e *pmshrEntry) {
 	w := e.waiters
 	for i := range w {
-		w[i] = nil
+		w[i] = doneRef{}
 	}
 	*e = pmshrEntry{}
 	e.waiters = w[:0]
@@ -435,7 +459,7 @@ func (s *SMU) getReq() *pendingReq {
 //
 //hwdp:pool release req
 func (s *SMU) putReq(c *pendingReq) {
-	c.req, c.done = Request{}, nil
+	c.req, c.done = Request{}, doneRef{}
 	s.reqPool = append(s.reqPool, c)
 }
 
@@ -443,7 +467,7 @@ func (s *SMU) putReq(c *pendingReq) {
 // engine's pooled argument path, replacing a closure allocation on the
 // late-hit, no-free-page, and I/O-error notify paths.
 type doneNotice struct {
-	done DoneFunc
+	done doneRef
 	res  Result
 	pte  pagetable.Entry
 }
@@ -471,7 +495,9 @@ func (s *SMU) putNotice(n *doneNotice) {
 
 // notifySchedule fires done(res, pte) after the SMU-to-core notify latency
 // without allocating a closure environment.
-func (s *SMU) notifySchedule(done DoneFunc, res Result, pte pagetable.Entry) {
+//
+//hwdp:hotpath
+func (s *SMU) notifySchedule(done doneRef, res Result, pte pagetable.Entry) {
 	n := s.getNotice()
 	n.done, n.res, n.pte = done, res, pte
 	s.eng.PostArg(s.timing.Notify, s.noticeFn, n)
@@ -510,7 +536,24 @@ func (s *SMU) trace(phase string, dur sim.Time) {
 // HandleMiss processes one page-miss request. done is invoked (in virtual
 // time) when handling concludes; for coalesced requests it is invoked when
 // the original miss completes.
+//
+//hwdp:hotpath
 func (s *SMU) HandleMiss(req Request, done DoneFunc) {
+	s.handleMiss(req, doneRef{fn: done})
+}
+
+// HandleMissArg is HandleMiss for callers that pre-bind their completion
+// callback: done(arg, res, pte) runs with the caller-supplied arg, letting
+// the caller keep its continuation state in a pooled record instead of
+// allocating a closure per miss (the MMU's walk continuations use this).
+//
+//hwdp:hotpath
+func (s *SMU) HandleMissArg(req Request, done DoneArgFunc, arg any) {
+	s.handleMiss(req, doneRef{afn: done, arg: arg})
+}
+
+//hwdp:hotpath
+func (s *SMU) handleMiss(req Request, done doneRef) {
 	t := s.timing
 	lookupCost := 2*t.ReqRegWrite + t.CAMLookup
 	s.trace("request regs + CAM lookup", lookupCost)
@@ -521,18 +564,21 @@ func (s *SMU) HandleMiss(req Request, done DoneFunc) {
 	s.eng.PostArg(lookupCost, s.admitFn, c)
 }
 
-func (s *SMU) admit(req Request, done DoneFunc) {
+//hwdp:hotpath
+func (s *SMU) admit(req Request, done doneRef) {
 	addr := req.PTE.Addr()
 	if e := s.lookup(addr); e != nil {
 		// Outstanding miss to the same page: coalesce; the pending walk
 		// resumes on the broadcast.
 		if req.Trace != nil {
 			at, ms, orig := s.eng.Now(), req.Trace, done
-			done = func(res Result, pte pagetable.Entry) {
+			//hwdp:ignore hotalloc closure only built when tracing is on (single-miss experiments), never in steady state
+			done = doneRef{fn: func(res Result, pte pagetable.Entry) {
 				ms.AddSpan(trace.LayerSMU, "pmshr-coalesce-wait", at, s.eng.Now())
-				orig(res, pte)
-			}
+				orig.call(res, pte)
+			}}
 		}
+		//hwdp:ignore hotalloc waiters backing array is retained by the pooled entry (putEntry keeps capacity), so steady-state appends do not allocate
 		e.waiters = append(e.waiters, done)
 		s.stats.Coalesced++
 		return
@@ -552,6 +598,7 @@ func (s *SMU) admit(req Request, done DoneFunc) {
 
 	if len(s.freeIdx) == 0 {
 		// All PMSHRs busy: the walk stays pending until a slot frees.
+		//hwdp:ignore hotalloc backlog only grows under PMSHR oversubscription and finish recycles it to backlog[:0], retaining capacity
 		s.backlog = append(s.backlog, backlogItem{req, done, s.eng.Now()})
 		s.stats.Backlogged++
 		s.psi.BeginStall(metrics.StallPMSHRBacklog, int64(s.eng.Now()))
@@ -590,6 +637,7 @@ func (s *SMU) admit(req Request, done DoneFunc) {
 	s.freeIdx = s.freeIdx[:len(s.freeIdx)-1]
 	e := s.getEntry()
 	e.idx, e.pteAddr, e.req, e.frame, e.dev = idx, addr, req, rec, dev
+	//hwdp:ignore hotalloc waiters backing array is retained by the pooled entry (putEntry keeps capacity), so steady-state appends do not allocate
 	e.waiters = append(e.waiters, done)
 	s.slots[idx] = e
 
@@ -609,6 +657,8 @@ func (s *SMU) admit(req Request, done DoneFunc) {
 // submission — including retries of the same miss — gets a fresh CID, so a
 // late completion of an abandoned attempt (e.g. one that raced its own
 // timeout) can never be mistaken for the retry's completion.
+//
+//hwdp:hotpath
 func (s *SMU) allocCID() uint16 {
 	for {
 		cid := s.nextCID
@@ -627,6 +677,8 @@ func (s *SMU) allocCID() uint16 {
 
 // issue submits (or resubmits) the read command for a PMSHR entry and arms
 // the completion timeout.
+//
+//hwdp:hotpath
 func (s *SMU) issue(e *pmshrEntry) {
 	e.attempts++
 	e.cid = s.allocCID()
@@ -668,6 +720,8 @@ func (s *SMU) issue(e *pmshrEntry) {
 // the policy window: the command is presumed lost inside the device. The
 // SMU aborts it (guaranteeing no late DMA into the frame if the abort
 // lands) and runs the retry policy with a host-synthesized timeout status.
+//
+//hwdp:hotpath
 func (s *SMU) onTimeout(e *pmshrEntry) {
 	e.timeout = nil
 	s.stats.Timeouts++
@@ -680,6 +734,8 @@ func (s *SMU) onTimeout(e *pmshrEntry) {
 // are resubmitted with exponential backoff until the budget is spent;
 // everything else — and exhaustion — fails the walk to the OS exception
 // path (the paper's graceful degradation), recycling the frame via finish.
+//
+//hwdp:hotpath
 func (s *SMU) recover(e *pmshrEntry, status uint16) {
 	if nvme.StatusRetryable(status) && e.attempts <= s.policy.MaxRetries {
 		e.cid = 0
@@ -700,7 +756,9 @@ func (s *SMU) recover(e *pmshrEntry, status uint16) {
 // tells the SMU to bypass I/O entirely (Section V). A zero-filled frame
 // from the free page queue is installed directly; the whole miss costs a
 // handful of cycles instead of a device access.
-func (s *SMU) admitAnon(req Request, done DoneFunc) {
+//
+//hwdp:hotpath
+func (s *SMU) admitAnon(req Request, done doneRef) {
 	freeq := s.queueFor(req.Core)
 	rec, fromBuf, ok := freeq.Pop()
 	if !ok {
@@ -721,6 +779,7 @@ func (s *SMU) admitAnon(req Request, done DoneFunc) {
 	s.freeIdx = s.freeIdx[:len(s.freeIdx)-1]
 	e := s.getEntry()
 	e.idx, e.pteAddr, e.req, e.frame = idx, addr, req, rec
+	//hwdp:ignore hotalloc waiters backing array is retained by the pooled entry (putEntry keeps capacity), so steady-state appends do not allocate
 	e.waiters = append(e.waiters, done)
 	s.slots[idx] = e
 
@@ -739,6 +798,8 @@ func (s *SMU) admitAnon(req Request, done DoneFunc) {
 
 // anonFill completes a first-touch anonymous miss: install the zero-filled
 // frame's PTE and broadcast.
+//
+//hwdp:hotpath
 func (s *SMU) anonFill(e *pmshrEntry) {
 	// Same locked PTE update as ptUpdate: a bounced duplicate of this
 	// miss may have zero-filled the page through the OS path meanwhile.
@@ -766,6 +827,8 @@ func (s *SMU) anonFill(e *pmshrEntry) {
 // completion wire (AttachLane's irq), so by the time this runs the CQ entry
 // is visible and CQHandle has elapsed. It updates the page table and
 // broadcasts.
+//
+//hwdp:hotpath
 func (s *SMU) cqHandle(dev *devSlot) {
 	t := s.timing
 	// The snoop that scheduled us fired exactly CQHandle ago.
@@ -801,6 +864,8 @@ func (s *SMU) cqHandle(dev *devSlot) {
 // ptUpdate installs the fetched frame's PTE — "replace the LBA field with
 // the PFN" — leaving the PTE's LBA bit set so kpted later updates OS
 // metadata, and marking the upper levels; then schedules the broadcast.
+//
+//hwdp:hotpath
 func (s *SMU) ptUpdate(e *pmshrEntry) {
 	t := s.timing
 	// The PTE write is a locked compare-exchange: if the OS fault path
@@ -828,6 +893,7 @@ func (s *SMU) ptUpdate(e *pmshrEntry) {
 	s.eng.PostArg(t.Notify, s.notifyFn, e)
 }
 
+//hwdp:hotpath
 func (s *SMU) finish(e *pmshrEntry, res Result, pte pagetable.Entry) {
 	if e.timeout != nil {
 		e.timeout.Cancel()
@@ -835,6 +901,7 @@ func (s *SMU) finish(e *pmshrEntry, res Result, pte pagetable.Entry) {
 	}
 	s.slots[e.idx] = nil
 	e.cid = 0
+	//hwdp:ignore hotalloc freeIdx was filled to full PMSHR depth at construction; append never exceeds that retained capacity
 	s.freeIdx = append(s.freeIdx, e.idx)
 	if e.installed {
 		s.stats.FramesInstalled++
@@ -847,7 +914,7 @@ func (s *SMU) finish(e *pmshrEntry, res Result, pte pagetable.Entry) {
 	}
 	addr := e.pteAddr
 	for _, w := range e.waiters {
-		w(res, pte)
+		w.call(res, pte)
 	}
 	s.checkBarriers(addr)
 	// Admit one backlogged request per freed slot.
@@ -907,6 +974,7 @@ func (s *SMU) checkBarriers(addr pagetable.EntryAddr) {
 			s.eng.Post(0, b.done)
 			continue
 		}
+		//hwdp:ignore hotalloc kept reuses barriers' backing array (s.barriers[:0]); the filter never outgrows it
 		kept = append(kept, b)
 	}
 	s.barriers = kept

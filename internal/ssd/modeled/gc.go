@@ -97,6 +97,7 @@ func (m *Model) eraseInto(id int32, pl *plane) {
 	b.written = 0
 	b.free = true
 	b.erases++
+	//hwdp:ignore hotalloc free-block list is bounded by the plane's block count; the backing array reaches that capacity and stops growing
 	pl.free = append(pl.free, id)
 	m.freeTotal++
 }

@@ -379,6 +379,8 @@ func (d *Device) SendFloor(minIRQ sim.Time) sim.Time {
 // engine of an AttachLane attachment (the host side pops its own SQ at
 // ring time — the rings are wholly host-owned on the evented transport,
 // and the wire message carries the command).
+//
+//hwdp:hotpath
 func (d *Device) Deliver(qid uint16, cmd nvme.Command, wire sim.Time) {
 	at, ok := d.attached[qid]
 	if !ok {
@@ -409,6 +411,7 @@ func (d *Device) RingSQDoorbell(qid uint16) {
 	}
 }
 
+//hwdp:hotpath
 func (d *Device) service(at *attachment, cmd nvme.Command) {
 	now := d.eng.Now()
 	status := nvme.StatusSuccess
@@ -430,7 +433,7 @@ func (d *Device) service(at *attachment, cmd nvme.Command) {
 			d.eng.SendArg(at.home, RejectLatency+at.irq, d.deliverFn, m)
 			return
 		}
-		//hwdp:ignore eventcapture command rejections only happen under fault injection, off the steady-state path
+		//hwdp:ignore all command rejections only happen on malformed/out-of-range submissions, off the steady-state path
 		d.eng.Post(RejectLatency, func() { d.complete(at, cmd, status) })
 		return
 	}
@@ -519,6 +522,7 @@ func (d *Device) service(at *attachment, cmd nvme.Command) {
 			if start > now {
 				cmd.Trace.AddSpan(trace.LayerSSD, "channel-queue-wait", now, start)
 			}
+			//hwdp:ignore hotalloc label built only for traced commands (single-miss experiments), never in steady state
 			cmd.Trace.AddSpan(trace.LayerSSD, "media "+cmd.Opcode.String(), start, done)
 		}
 	}
@@ -557,6 +561,7 @@ func (d *Device) service(at *attachment, cmd nvme.Command) {
 // the host will see; deliverable is false when the command dies inside the
 // device without a completion (fault.Drop).
 func outcomeStatus(kind fault.Kind, op nvme.Opcode) (status uint16, deliverable bool) {
+	//hwdp:exhaustive
 	switch kind {
 	case fault.Drop:
 		return 0, false
@@ -567,12 +572,17 @@ func outcomeStatus(kind fault.Kind, op nvme.Opcode) (status uint16, deliverable 
 			return nvme.StatusUncorrectable, true
 		}
 		return nvme.StatusWriteFault, true
+	case fault.None, fault.Spike:
+		// A spike stretches service latency but the command completes
+		// cleanly; None is no fault at all.
 	}
 	return nvme.StatusSuccess, true
 }
 
 // finish runs at a command's media-completion time: channel bookkeeping,
 // injected-fault resolution, DMA, and the completion post.
+//
+//hwdp:hotpath
 func (d *Device) finish(fl *flight) {
 	delete(d.inflight, fl.key)
 	if fl.isWrite && fl.ch != nil {
@@ -588,6 +598,7 @@ func (d *Device) finish(fl *flight) {
 		// Cross-lane attachment: the completion left at service time and
 		// the DMA runs home-side at delivery; only the fault accounting
 		// remains device-side.
+		//hwdp:exhaustive
 		switch kind {
 		case fault.Drop:
 			d.stats.InjDropped++
@@ -598,9 +609,12 @@ func (d *Device) finish(fl *flight) {
 		case fault.UECC:
 			d.stats.InjUECC++
 			cmd.Trace.Mark(trace.LayerSSD, "fault-uecc", done)
+		case fault.None, fault.Spike:
+			// Clean (or merely slowed) completion: nothing to account.
 		}
 		return
 	}
+	//hwdp:exhaustive
 	switch kind {
 	case fault.Drop:
 		// The command is lost inside the device: no DMA, no completion.
@@ -622,6 +636,8 @@ func (d *Device) finish(fl *flight) {
 			d.complete(at, cmd, nvme.StatusWriteFault)
 		}
 		return
+	case fault.None, fault.Spike:
+		// Fall through to the normal DMA + success completion below.
 	}
 	if d.dma != nil && !at.evented() {
 		// Evented attachments DMA home-side at wire-delivery time
@@ -699,6 +715,8 @@ func (d *Device) complete(at *attachment, cmd nvme.Command, status uint16) {
 // finishes crossing the irq/snoop wire: DMA (successful commands only),
 // CQ post, then host notification — the same order the legacy path uses,
 // just relocated to the engine that owns the host-side state.
+//
+//hwdp:hotpath
 func (d *Device) deliverHome(m *wireMsg) {
 	at, cmd, status := m.at, m.cmd, m.status
 	if m.pooled {

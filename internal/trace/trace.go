@@ -159,6 +159,8 @@ type Miss struct {
 }
 
 // AddSpan records one timed phase. No-op on a nil miss.
+//
+//hwdp:coldpath tracing is off (nil receiver) in steady state; span recording only runs in single-miss experiments
 func (m *Miss) AddSpan(layer Layer, name string, start, end sim.Time) {
 	if m == nil {
 		return
@@ -167,6 +169,8 @@ func (m *Miss) AddSpan(layer Layer, name string, start, end sim.Time) {
 }
 
 // Mark records an instantaneous marker event. No-op on a nil miss.
+//
+//hwdp:coldpath tracing is off (nil receiver) in steady state; span recording only runs in single-miss experiments
 func (m *Miss) Mark(layer Layer, name string, at sim.Time) {
 	m.AddSpan(layer, name, at, at)
 }
@@ -174,6 +178,8 @@ func (m *Miss) Mark(layer Layer, name string, at sim.Time) {
 // SetCause reclassifies the miss. CauseBounced is sticky — once a miss
 // bounced from hardware to the OS, the bounce stays the headline cause.
 // No-op on a nil miss.
+//
+//hwdp:coldpath tracing is off (nil receiver) in steady state
 func (m *Miss) SetCause(c Cause) {
 	if m == nil || m.Cause == CauseBounced {
 		return
@@ -184,6 +190,8 @@ func (m *Miss) SetCause(c Cause) {
 // Finish ends the miss and hands it to the tracer for attribution and
 // retention. Idempotent (the first call wins) and nil-safe, so shared
 // completion paths may all call it.
+//
+//hwdp:coldpath tracing is off (nil receiver) in steady state; retirement only runs in single-miss experiments
 func (m *Miss) Finish(end sim.Time) {
 	if m == nil || m.ended {
 		return
@@ -246,6 +254,8 @@ func New(ringDepth int) *Tracer {
 
 // Begin opens a miss context. Returns nil (and does nothing) on a nil
 // tracer, so callers never need their own enabled check.
+//
+//hwdp:coldpath tracing is off (nil tracer) in steady state; per-miss records only exist in single-miss experiments
 func (t *Tracer) Begin(core int, va uint64, cause Cause, start sim.Time) *Miss {
 	if t == nil {
 		return nil

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"testing"
 
-	"hwdp/internal/analysis"
 	"hwdp/internal/analysis/loader"
 	"hwdp/internal/analysis/suite"
 )
@@ -12,8 +11,11 @@ import (
 // TestLintClean is the tier-1 regression gate for the hwdplint analyzers:
 // the whole module must type-check and produce zero unsuppressed
 // diagnostics. A new wall-clock read, unpaired pool acquire, unit-less
-// sim.Time constant, or hot-path capturing closure fails this test — the
-// same findings `make lint` reports, without needing the vettool binary.
+// sim.Time constant, hot-path capturing closure, non-exhaustive status
+// switch, allocation reachable from a //hwdp:hotpath root, or lane-unsafe
+// site reachable from lane-hosted code fails this test — the same
+// findings `make lint` reports, without needing the vettool binary
+// (suite.RunAll summarizes callgraph facts in-process).
 func TestLintClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("lint pass recompiles the module for export data; skipped in -short mode")
@@ -25,15 +27,15 @@ func TestLintClean(t *testing.T) {
 	if len(units) == 0 {
 		t.Fatal("loader returned no packages for ./...")
 	}
+	results, err := suite.RunAll(units)
+	if err != nil {
+		t.Fatalf("analyzing: %v", err)
+	}
 	var failures []string
-	for _, u := range units {
-		diags, err := analysis.Run(u, suite.Analyzers)
-		if err != nil {
-			t.Fatalf("analyzing %s: %v", u.Pkg.Path(), err)
-		}
-		for _, d := range diags {
+	for _, r := range results {
+		for _, d := range r.Diags {
 			failures = append(failures,
-				fmt.Sprintf("%s: %s [%s]", u.Fset.Position(d.Pos), d.Message, d.Analyzer))
+				fmt.Sprintf("%s: %s [%s]", r.Unit.Fset.Position(d.Pos), d.Message, d.Analyzer))
 		}
 	}
 	if len(failures) > 0 {
