@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-short bench-go sweep-check chaos-short engine-check ssd-check docs-check fmt lint check
+.PHONY: all build test race bench bench-short bench-go sweep-check chaos-short engine-check ssd-check fleet-check docs-check fmt lint check
 
 all: build test
 
@@ -65,6 +65,17 @@ SSD_TESTS = GCConservation|Precondition|Unmapped|WriteBuffer|Flush|Deterministic
 ssd-check:
 	$(GO) test -run '$(SSD_TESTS)' ./internal/ssd/... ./internal/core ./internal/figures
 	$(GO) test -race -run '$(SSD_TESTS)' ./internal/ssd/... ./internal/core ./internal/figures
+
+# fleet-check runs the multi-tenant battery — the per-tenant counter
+# conservation property (under QoS, engine lanes and fault storms), the
+# noisy-neighbor isolation acceptance (victim p99.9 improves >= 2x with
+# QoS on), and the -j/-lanes byte-equivalence pins — plain and under the
+# race detector, then regenerates the CI-sized fleet figure so
+# FLEET_hwdp.json is always a fresh artifact. See docs/FLEET.md.
+fleet-check:
+	$(GO) test ./internal/fleet/
+	$(GO) test -race ./internal/fleet/
+	$(GO) run ./cmd/hwdpbench -fleet -quick -no-cache -sweep-out FLEET_sweep.json
 
 fmt:
 	gofmt -w .

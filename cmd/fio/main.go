@@ -65,7 +65,11 @@ func main() {
 	cfg.TraceEnabled = *breakdown || *tracePath != ""
 	pages := *fileMB << 8 // MB -> 4KiB pages
 	cfg.FSBlocks = uint64(pages) + (1 << 16)
-	sys := core.NewSystem(cfg)
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fio:", err)
+		os.Exit(2)
+	}
 
 	fio, err := workload.SetupFIO(sys, "fio.dat", pages, sys.FastFlags())
 	if err != nil {

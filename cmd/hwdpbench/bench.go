@@ -12,6 +12,7 @@ import (
 	"hwdp/internal/sweep"
 
 	"hwdp/internal/core"
+	"hwdp/internal/fleet"
 	"hwdp/internal/kernel"
 	"hwdp/internal/mem"
 	"hwdp/internal/nvme"
@@ -145,6 +146,8 @@ func runBench(short bool, lanes int, outPath string) (string, error) {
 				lanes, laneEPS/seqEPS, runtime.GOMAXPROCS(0))
 		}
 	}
+	add("fleet_fifo", benchFleet(short, false), 0)
+	add("fleet_qos", benchFleet(short, true), 0)
 
 	for _, b := range rep.Bench {
 		if b.Name != "miss_path" {
@@ -284,6 +287,30 @@ func benchMissPath() (testing.BenchmarkResult, float64) {
 	return r, eps
 }
 
+// benchFleet measures one multi-tenant fleet experiment end to end (3
+// tenants on 2 sockets, 16 threads, contended PMSHR) with admission FIFO
+// or weighted-fair — the fleet_fifo row prices the tenant accounting
+// mirror on the miss path, and fleet_qos adds the QoS gate/park/drain
+// machinery on top.
+func benchFleet(short, qos bool) testing.BenchmarkResult {
+	c := fleet.DefaultConfig()
+	c.QoS = qos
+	c.Duration = 12 * sim.Millisecond
+	c.Warmup = 3 * sim.Millisecond
+	if short {
+		c.Duration = 6 * sim.Millisecond
+		c.Warmup = 2 * sim.Millisecond
+	}
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := fleet.Run(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // benchFigureSweep measures a full-system fixed-seed FIO sweep (kernel +
 // MMU + SMU + device, HWDP scheme) — the macro workload behind the paper's
 // figures. One iteration is one complete sweep.
@@ -308,7 +335,7 @@ func benchFigureSweep(short bool) (testing.BenchmarkResult, float64) {
 			cfg.MemoryBytes = memBytes
 			cfg.Seed = 1
 			cfg.FSBlocks = filePages + (1 << 16)
-			sys := core.NewSystem(cfg)
+			sys := cfg.Build()
 			fio, err := workload.SetupFIO(sys, "fio.dat", filePages, sys.FastFlags())
 			if err != nil {
 				b.Fatal(err)

@@ -30,6 +30,12 @@
 //	hwdpbench -pressure         # chaos-pressure campaign -> CAMPAIGN_hwdp.json
 //	hwdpbench -pressure -quick  # bounded variant (CI smoke)
 //	hwdpbench -campaign-out f   # campaign manifest path (default CAMPAIGN_hwdp.json)
+//	hwdpbench -fleet            # multi-tenant fleet sweep -> FLEET_hwdp.json
+//	hwdpbench -fleet -quick     # CI-sized variant (one skew, both modes)
+//	hwdpbench -fig fleet        # alias for -fleet
+//	hwdpbench -tenants 5        # override the fleet sweep's tenant count
+//	hwdpbench -qos ladder       # fleet admission: ladder (off+on), on, off
+//	hwdpbench -fleet-out f.json # fleet manifest path (default FLEET_hwdp.json)
 //
 // Unit results (figure/table text) stream to stdout in deterministic
 // order; progress, ETA and failure records go to stderr. A unit that
@@ -49,6 +55,7 @@ import (
 	"hwdp/internal/campaign"
 	"hwdp/internal/core"
 	"hwdp/internal/figures"
+	"hwdp/internal/fleet"
 	"hwdp/internal/kernel"
 	"hwdp/internal/sweep"
 	"hwdp/internal/trace"
@@ -77,7 +84,17 @@ func main() {
 	benchOut := flag.String("bench-out", "BENCH_hwdp.json", "benchmark report path for -bench")
 	pressure := flag.Bool("pressure", false, "run the chaos-pressure campaign (oversubscription under fault storms) and write a JSON manifest")
 	campaignOut := flag.String("campaign-out", "CAMPAIGN_hwdp.json", "campaign manifest path for -pressure")
+	fleetRun := flag.Bool("fleet", false, "run the multi-tenant fleet sweep (noisy-neighbor isolation ladder, docs/FLEET.md) and write a JSON manifest")
+	tenants := flag.Int("tenants", 0, "override the fleet sweep's tenant count (0 keeps the default)")
+	qosMode := flag.String("qos", "ladder", "fleet admission modes to run: ladder (off and on), on, or off")
+	fleetOut := flag.String("fleet-out", "FLEET_hwdp.json", "fleet manifest path for -fleet")
 	flag.Parse()
+	if *fig == "fleet" {
+		// -fig fleet is sugar for -fleet: the fleet sweep is a figure
+		// family, but its units come from internal/fleet, not figures.
+		*fleetRun = true
+		*fig = ""
+	}
 
 	p := figures.Default()
 	if *quick {
@@ -121,6 +138,39 @@ func main() {
 		sel = append(sel, cunits...)
 		campaignResults = cres
 	}
+	var fleetResults []fleet.Result
+	if *fleetRun {
+		cfgs := fleet.Ladder(*seed, *lanes)
+		if *quick {
+			cfgs = fleet.QuickLadder(*seed, *lanes)
+		}
+		kept := cfgs[:0]
+		for _, c := range cfgs {
+			if *tenants > 0 {
+				c.Tenants = *tenants
+			}
+			switch *qosMode {
+			case "ladder":
+			case "on":
+				if !c.QoS {
+					continue
+				}
+			case "off":
+				if c.QoS {
+					continue
+				}
+			default:
+				fatal(fmt.Errorf("unknown -qos mode %q (want ladder, on or off)", *qosMode))
+			}
+			if err := c.Validate(); err != nil {
+				fatal(err)
+			}
+			kept = append(kept, c)
+		}
+		funits, fres := fleet.Units(kept)
+		sel = append(sel, funits...)
+		fleetResults = fres
+	}
 	switch {
 	case *all:
 		sel = append(sel, units...)
@@ -160,6 +210,15 @@ func main() {
 		fmt.Println(campaign.RenderComparison(campaignResults))
 		fmt.Fprintf(os.Stderr, "campaign: %d/%d scenarios clean (%d violations); manifest %s\n",
 			m.Clean, m.Scenarios, m.Violations, *campaignOut)
+	}
+	if *fleetRun {
+		m := fleet.NewManifest(fleetResults)
+		if err := m.Write(*fleetOut); err != nil {
+			fatal(err)
+		}
+		fmt.Println(fleet.RenderComparison(fleetResults))
+		fmt.Fprintf(os.Stderr, "fleet: %d experiments, %d/%d tenant rows met SLO; manifest %s\n",
+			m.Experiments, m.SLOMet, m.TenantRows, *fleetOut)
 	}
 	if failed > 0 {
 		os.Exit(1)
@@ -239,7 +298,10 @@ func traceSweep(quick, report bool, tracePath string, p figures.Params) {
 		cfg.FSBlocks = filePages + (1 << 16)
 		cfg.TraceEnabled = true
 		p.ApplySSD(&cfg)
-		sys := core.NewSystem(cfg)
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			fatal(err)
+		}
 		fio, err := workload.SetupFIO(sys, "fio.dat", filePages, sys.FastFlags())
 		if err != nil {
 			fatal(err)

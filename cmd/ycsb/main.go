@@ -63,7 +63,10 @@ func main() {
 	cfg.Seed = *seed
 	cfg.TraceEnabled = *breakdown || *tracePath != ""
 	cfg.FSBlocks = *records*2 + (1 << 16)
-	sys := core.NewSystem(cfg)
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		fail("%v", err)
+	}
 
 	st, err := kvs.Create(sys.K, sys.FS, sys.Proc, "store", *records, 0, 0, sys.FastFlags())
 	if err != nil {

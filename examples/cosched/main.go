@@ -28,7 +28,7 @@ func main() {
 		cfg := core.DefaultConfig(scheme)
 		cfg.MemoryBytes = 32 << 20
 		cfg.Seed = 3
-		sys := core.NewSystem(cfg)
+		sys := cfg.Build()
 		fio, err := workload.SetupFIO(sys, "fio.dat", 16384, sys.FastFlags())
 		if err != nil {
 			panic(err)

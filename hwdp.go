@@ -240,7 +240,7 @@ func New(cfg Config) *System {
 	c.TraceEnabled = cfg.Trace
 	c.TraceRing = cfg.TraceRing
 	c.Lanes = cfg.Lanes
-	return &System{sys: core.NewSystem(c)}
+	return &System{sys: c.Build()}
 }
 
 // Raw exposes the underlying machine for advanced use.

@@ -18,7 +18,7 @@ func buildSystem(t *testing.T) *core.System {
 	cfg.FSBlocks = 1 << 16
 	cfg.DeviceJitter = false
 	cfg.Kernel.KptedPeriod = 2 * sim.Millisecond
-	return core.NewSystem(cfg)
+	return cfg.Build()
 }
 
 func TestCleanSystemHasNoViolations(t *testing.T) {

@@ -132,8 +132,40 @@ func DefaultConfig(scheme kernel.Scheme) Config {
 	}
 }
 
-// Build assembles a machine from the config (sugar for NewSystem).
-func (c Config) Build() *System { return NewSystem(c) }
+// Validate checks the machine description for construction-time errors:
+// too few cores for the background kernel threads, more sockets than the
+// PTE's 3-bit SID field can address, or an unknown SSD backend name.
+// NewSystem runs it first, so invalid configs (e.g. a fleet sweep asking
+// for 9 sockets) fail with an error instead of crashing the worker.
+func (c Config) Validate() error {
+	if c.Cores < 2 {
+		return fmt.Errorf("core: need at least 2 physical cores (background threads), have %d", c.Cores)
+	}
+	sockets := c.Sockets
+	if sockets == 0 {
+		sockets = 1
+	}
+	if sockets > 8 {
+		return fmt.Errorf("core: %d sockets: the PTE's SID field addresses at most 8", sockets)
+	}
+	switch c.SSDBackend {
+	case "", "profile", "modeled":
+	default:
+		return fmt.Errorf("core: unknown SSDBackend %q (want \"profile\" or \"modeled\")", c.SSDBackend)
+	}
+	return nil
+}
+
+// Build assembles a machine from the config, panicking on an invalid one
+// (sugar for NewSystem where the config is known good: tests, examples and
+// the figure harness).
+func (c Config) Build() *System {
+	sys, err := NewSystem(c)
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
 
 // Dur converts raw picoseconds (e.g. histogram percentiles) to sim.Time.
 func Dur(ps int64) sim.Time { return sim.Time(ps) }
@@ -166,17 +198,15 @@ type System struct {
 	Trace *trace.Tracer
 }
 
-// NewSystem builds and starts a machine.
-func NewSystem(cfg Config) *System {
-	if cfg.Cores < 2 {
-		panic("core: need at least 2 physical cores (background threads)")
+// NewSystem builds and starts a machine, or reports why the config cannot
+// describe one (see Config.Validate).
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	sockets := cfg.Sockets
 	if sockets == 0 {
 		sockets = 1
-	}
-	if sockets > 8 {
-		panic("core: the PTE's SID field addresses at most 8 sockets")
 	}
 	lanes := cfg.Lanes
 	if lanes < 1 {
@@ -343,7 +373,7 @@ func NewSystem(cfg Config) *System {
 	}
 	k.Start()
 	sys.Proc = k.NewProcess()
-	return sys
+	return sys, nil
 }
 
 // MapFileOn creates and maps a file on the given socket's file system.

@@ -20,7 +20,7 @@ func smallConfig(scheme kernel.Scheme) Config {
 }
 
 func TestNewSystemAssembly(t *testing.T) {
-	s := NewSystem(smallConfig(kernel.HWDP))
+	s := smallConfig(kernel.HWDP).Build()
 	if s.CPU == nil || s.K == nil || s.SMU == nil {
 		t.Fatal("incomplete assembly")
 	}
@@ -33,19 +33,25 @@ func TestNewSystemAssembly(t *testing.T) {
 	}
 }
 
-func TestTooFewCoresPanics(t *testing.T) {
+func TestTooFewCoresErrors(t *testing.T) {
 	cfg := smallConfig(kernel.HWDP)
 	cfg.Cores = 1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate: want error for 1 core")
+	}
+	if sys, err := NewSystem(cfg); err == nil || sys != nil {
+		t.Fatalf("NewSystem: want nil system + error, got %v, %v", sys, err)
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("want panic")
+			t.Fatal("Build: want panic on invalid config")
 		}
 	}()
-	NewSystem(cfg)
+	cfg.Build()
 }
 
 func TestWorkloadThreadPinning(t *testing.T) {
-	s := NewSystem(smallConfig(kernel.HWDP))
+	s := smallConfig(kernel.HWDP).Build()
 	t0 := s.WorkloadThread(0)
 	t1 := s.WorkloadThread(1)
 	if t0.HW.ID != 0 || t1.HW.ID != 2 {
@@ -58,7 +64,7 @@ func TestWorkloadThreadPinning(t *testing.T) {
 }
 
 func TestMeasureSingleFaultHWDP(t *testing.T) {
-	s := NewSystem(smallConfig(kernel.HWDP))
+	s := smallConfig(kernel.HWDP).Build()
 	va, _, err := s.MapFile("f", 16, fs.SeededInit(1), s.FastFlags())
 	if err != nil {
 		t.Fatal(err)
@@ -79,7 +85,7 @@ func TestMeasureSingleFaultHWDP(t *testing.T) {
 func TestMeasureSingleFaultAllSchemes(t *testing.T) {
 	var lats []sim.Time
 	for _, scheme := range []kernel.Scheme{kernel.HWDP, kernel.SWDP, kernel.OSDP} {
-		s := NewSystem(smallConfig(scheme))
+		s := smallConfig(scheme).Build()
 		va, _, err := s.MapFile("f", 16, fs.SeededInit(1), s.FastFlags())
 		if err != nil {
 			t.Fatal(err)
@@ -93,16 +99,16 @@ func TestMeasureSingleFaultAllSchemes(t *testing.T) {
 }
 
 func TestFastFlagsPerScheme(t *testing.T) {
-	if !NewSystem(smallConfig(kernel.HWDP)).FastFlags().Fast {
+	if !smallConfig(kernel.HWDP).Build().FastFlags().Fast {
 		t.Fatal("HWDP should use fast mmap")
 	}
-	if NewSystem(smallConfig(kernel.OSDP)).FastFlags().Fast {
+	if smallConfig(kernel.OSDP).Build().FastFlags().Fast {
 		t.Fatal("OSDP must not use fast mmap")
 	}
 }
 
 func TestRunFor(t *testing.T) {
-	s := NewSystem(smallConfig(kernel.HWDP))
+	s := smallConfig(kernel.HWDP).Build()
 	s.RunFor(10 * sim.Millisecond)
 	if s.Eng.Now() < 10*sim.Millisecond {
 		t.Fatalf("now = %v", s.Eng.Now())
@@ -112,7 +118,7 @@ func TestRunFor(t *testing.T) {
 func TestEndToEndAccessSequence(t *testing.T) {
 	// A longer mixed run on the default machine keeps all invariants: no
 	// panics, resident pages bounded by physical frames.
-	s := NewSystem(smallConfig(kernel.HWDP))
+	s := smallConfig(kernel.HWDP).Build()
 	va, _, err := s.MapFile("db", 4096, fs.SeededInit(3), s.FastFlags())
 	if err != nil {
 		t.Fatal(err)

@@ -30,7 +30,7 @@ func TestFallbackRacesConcurrentRefill(t *testing.T) {
 	cfg.FreeQueueDepth = 8 // clamp floor: one burst of misses drains it
 	cfg.Kernel.KpooldPeriod = 100 * sim.Microsecond
 	cfg.Kernel.KswapdPeriod = 200 * sim.Microsecond
-	sys := core.NewSystem(cfg)
+	sys := cfg.Build()
 
 	const (
 		threads = 8

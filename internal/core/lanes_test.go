@@ -22,7 +22,7 @@ func laneRunDigest(t *testing.T, lanes, sockets int) string {
 	cfg.Sockets = sockets
 	cfg.Lanes = lanes
 	cfg.Seed = 11
-	s := NewSystem(cfg)
+	s := cfg.Build()
 	th := s.WorkloadThread(0)
 	vas := make([]pagetable.VAddr, sockets)
 	for sid := 0; sid < sockets; sid++ {
@@ -71,7 +71,7 @@ func TestLaneGroupEngagesParallelRounds(t *testing.T) {
 	cfg := smallConfig(kernel.HWDP)
 	cfg.Sockets = 2
 	cfg.Lanes = 3
-	s := NewSystem(cfg)
+	s := cfg.Build()
 	if s.Grp == nil || s.Grp.Lanes() != 3 {
 		t.Fatalf("group = %v", s.Grp)
 	}
@@ -100,7 +100,7 @@ func TestLaneGroupEngagesParallelRounds(t *testing.T) {
 func TestLaneClampAndFallback(t *testing.T) {
 	cfg := smallConfig(kernel.HWDP)
 	cfg.Lanes = 8
-	s := NewSystem(cfg)
+	s := cfg.Build()
 	if s.Grp == nil || s.Grp.Lanes() != 2 {
 		t.Fatalf("single-socket lanes = %v, want clamp to 2", s.Grp)
 	}
@@ -108,14 +108,14 @@ func TestLaneClampAndFallback(t *testing.T) {
 	cfg = smallConfig(kernel.HWDP)
 	cfg.Lanes = 8
 	cfg.TraceEnabled = true
-	if s = NewSystem(cfg); s.Grp != nil {
+	if s = cfg.Build(); s.Grp != nil {
 		t.Fatal("tracing must fall back to the sequential engine")
 	}
 
 	cfg = smallConfig(kernel.HWDP)
 	cfg.Lanes = 8
 	cfg.FaultRules = []fault.Rule{{Kind: fault.Transient, Prob: 1}}
-	if s = NewSystem(cfg); s.Grp != nil {
+	if s = cfg.Build(); s.Grp != nil {
 		t.Fatal("fault injection must fall back to the sequential engine")
 	}
 }

@@ -60,7 +60,7 @@ func mix(x uint64) uint64 {
 func modeledLaneDigest(t *testing.T, lanes int) string {
 	t.Helper()
 	cfg := modeledLaneConfig(lanes)
-	s := NewSystem(cfg)
+	s := cfg.Build()
 
 	engines := []*sim.Engine{s.Eng}
 	if s.Grp != nil {
@@ -148,7 +148,7 @@ func TestModeledSSDLaneEquivalence(t *testing.T) {
 func TestModeledBackendEndToEnd(t *testing.T) {
 	cfg := modeledLaneConfig(1)
 	cfg.Sockets = 1
-	s := NewSystem(cfg)
+	s := cfg.Build()
 	va, _, err := s.MapFileOn(0, "f", 128, fs.SeededInit(7), s.FastFlags())
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,82 @@
+package fleet
+
+import (
+	"fmt"
+
+	"hwdp/internal/sim"
+	"hwdp/internal/sweep"
+)
+
+// Ladder builds the standard fleet sweep: for each intensity skew, one
+// experiment with QoS off (today's FIFO admission) and one with QoS on,
+// so the comparison isolates exactly what weighted-fair admission buys the
+// victim tenant. Tenant/thread/socket shape comes from DefaultConfig.
+func Ladder(seed uint64, lanes int) []Config {
+	var cfgs []Config
+	for _, skew := range []float64{0.5, 1.3, 2.0, 3.0} {
+		for _, qos := range []bool{false, true} {
+			c := DefaultConfig()
+			c.Skew = skew
+			c.QoS = qos
+			c.Seed = seed
+			c.Lanes = lanes
+			tag := "fifo"
+			if qos {
+				tag = "qos"
+			}
+			c.Name = fmt.Sprintf("fleet/skew%.2f/%s", skew, tag)
+			cfgs = append(cfgs, c)
+		}
+	}
+	return cfgs
+}
+
+// QuickLadder is the CI-sized sweep: one skew, both admission modes, a
+// shorter run.
+func QuickLadder(seed uint64, lanes int) []Config {
+	var cfgs []Config
+	for _, qos := range []bool{false, true} {
+		c := DefaultConfig()
+		c.QoS = qos
+		c.Seed = seed
+		c.Lanes = lanes
+		c.Duration = 12 * sim.Millisecond
+		c.Warmup = 3 * sim.Millisecond
+		tag := "fifo"
+		if qos {
+			tag = "qos"
+		}
+		c.Name = fmt.Sprintf("fleet/quick/%s", tag)
+		cfgs = append(cfgs, c)
+	}
+	return cfgs
+}
+
+// Units wraps the experiments as sweep units. Each unit's Run stores its
+// Result into the returned slice at the config's index and renders the
+// per-tenant report text; the orchestrator emits outputs in config order,
+// so `-j 1` and `-j 8` produce identical bytes.
+func Units(cfgs []Config) ([]sweep.Unit, []Result) {
+	results := make([]Result, len(cfgs))
+	units := make([]sweep.Unit, len(cfgs))
+	for i, c := range cfgs {
+		i, c := i, c
+		units[i] = sweep.Unit{
+			Name:        c.Name,
+			Kind:        "fleet",
+			Fingerprint: c.Fingerprint(),
+			// The manifest and comparison need every Result in memory,
+			// so cached outputs alone are not enough: always re-run.
+			Uncacheable: true,
+			Run: func() (string, error) {
+				r, err := Run(c)
+				if err != nil {
+					return "", err
+				}
+				results[i] = r
+				return RenderResult(r), nil
+			},
+		}
+	}
+	return units, results
+}

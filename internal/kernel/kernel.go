@@ -67,6 +67,14 @@ type Config struct {
 	DisableKpoold bool // ablation: no background refill (Section IV-D)
 	DisableKpted  bool
 
+	// ShardKpoold splits the kpoold refill sweep into one periodic tick per
+	// socket, staggered across the period, instead of one tick refilling
+	// every SMU at the same timestamp. Fleet configs enable it so refill
+	// work — and the doorbell traffic it triggers on the per-socket device
+	// lanes — spreads in time across sockets. Off (the default) keeps the
+	// single-sweep behavior byte-identical.
+	ShardKpoold bool
+
 	// LowWaterFrac / HighWaterFrac bound background reclaim: kswapd starts
 	// evicting below low*frames free and stops at high*frames.
 	LowWaterFrac  float64
@@ -264,6 +272,10 @@ type Thread struct {
 	ID   int
 	HW   *cpu.HWThread
 	Proc *Process
+	// Tenant is the fleet tenant the thread serves (0 on the default
+	// single-tenant machine). It rides the access context into the MMU and
+	// SMU for per-tenant accounting and QoS admission.
+	Tenant int
 	// Killed marks a thread terminated by the SIGBUS model: the I/O backing
 	// one of its page faults failed unrecoverably. The simulation keeps the
 	// Thread object (accounting), but workloads should stop driving it.
@@ -274,6 +286,10 @@ type Thread struct {
 // CoreID implements mmu.CoreCarrier: the logical core the thread is pinned
 // to (selects the per-core free page queue when the SMU runs them).
 func (t *Thread) CoreID() int { return t.HW.ID }
+
+// TenantID implements mmu.TenantCarrier: the fleet tenant charged for the
+// thread's page misses.
+func (t *Thread) TenantID() int { return t.Tenant }
 
 func (t *Thread) beginStall(k *Kernel) { t.stallEnd = k.cpu.BeginStall(t.HW) }
 
@@ -520,7 +536,19 @@ func (k *Kernel) Start() {
 		for _, s := range k.smuList {
 			k.refillSMU(s)
 		}
-		if !k.cfg.DisableKpoold {
+		switch {
+		case k.cfg.DisableKpoold:
+		case k.cfg.ShardKpoold:
+			// One refill tick per socket, staggered across the period so the
+			// sweeps don't land on a single timestamp. Each ticker binds its
+			// callback once; rescheduling reposts the stored func.
+			for i, s := range k.smuList {
+				t := &smuTicker{k: k, s: s}
+				t.tick = t.run
+				off := k.cfg.KpooldPeriod * sim.Time(i) / sim.Time(len(k.smuList))
+				k.eng.Post(k.cfg.KpooldPeriod+off, t.tick)
+			}
+		default:
 			k.eng.Post(k.cfg.KpooldPeriod, k.kpooldTick)
 		}
 	}

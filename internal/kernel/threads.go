@@ -3,6 +3,7 @@ package kernel
 import (
 	"hwdp/internal/pagetable"
 	"hwdp/internal/sim"
+	"hwdp/internal/smu"
 )
 
 // kptedTick is one period of the kpted kernel thread (Section IV-C): scan
@@ -44,6 +45,31 @@ func (k *Kernel) kpooldTick() {
 	finish := func() { k.eng.Post(k.cfg.KpooldPeriod, k.kpooldTick) }
 	if total > 0 {
 		k.kexec(k.kpooldHW, k.cfg.Costs.KpooldPerPage*sim.Time(total), finish)
+	} else {
+		finish()
+	}
+}
+
+// smuTicker is one socket's sharded kpoold schedule (Config.ShardKpoold):
+// it pre-binds the tick callback at Start so each reschedule posts the
+// stored func instead of allocating a fresh closure per period.
+type smuTicker struct {
+	k    *Kernel
+	s    *smu.SMU
+	tick func()
+}
+
+func (t *smuTicker) run() { t.k.kpooldTickSMU(t.s, t.tick) }
+
+// kpooldTickSMU is one period of a sharded kpoold: the same refill work as
+// kpooldTick, but scoped to one socket's SMU so each socket's sweep fires
+// on its own staggered schedule. resched is the ticker's pre-bound tick.
+func (k *Kernel) kpooldTickSMU(s *smu.SMU, resched func()) {
+	n := k.refillSMU(s)
+	k.stats.KpooldFrames += uint64(n)
+	finish := func() { k.eng.Post(k.cfg.KpooldPeriod, resched) }
+	if n > 0 {
+		k.kexec(k.kpooldHW, k.cfg.Costs.KpooldPerPage*sim.Time(n), finish)
 	} else {
 		finish()
 	}

@@ -18,7 +18,7 @@ func testSystem(t *testing.T, scheme kernel.Scheme) *core.System {
 	cfg.FSBlocks = 1 << 16
 	cfg.DeviceJitter = false
 	cfg.Kernel.KptedPeriod = 2 * sim.Millisecond
-	return core.NewSystem(cfg)
+	return cfg.Build()
 }
 
 func mkStore(t *testing.T, sys *core.System, keys uint64) *Store {

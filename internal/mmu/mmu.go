@@ -56,6 +56,12 @@ func (o Outcome) String() string {
 // which logical core is faulting, for SMUs with per-core free page queues.
 type CoreCarrier interface{ CoreID() int }
 
+// TenantCarrier lets the access context (the kernel's thread) tell the MMU
+// which fleet tenant is faulting, for per-tenant SMU accounting and QoS
+// admission. Contexts that do not implement it are tenant 0 (the default
+// single-tenant machine).
+type TenantCarrier interface{ TenantID() int }
+
 // OSFaultFunc raises a page-fault exception to the kernel. The kernel
 // resolves the fault (possibly blocking the thread) and calls done; the
 // MMU then re-walks. hwFailed distinguishes Table I row 1 faults from
@@ -301,9 +307,12 @@ func (m *MMU) runWalk(arg any) {
 // began); ms is the miss's trace context, nil until the walk turns out to
 // be a miss (and always nil when tracing is disabled).
 func (m *MMU) walk(ctx any, as *AddressSpace, va pagetable.VAddr, write bool, done func(Result), retried bool, t0 sim.Time, ms *trace.Miss) {
-	core := 0
+	core, tenant := 0, 0
 	if cc, okc := ctx.(CoreCarrier); okc {
 		core = cc.CoreID()
+	}
+	if tc, okt := ctx.(TenantCarrier); okt {
+		tenant = tc.TenantID()
 	}
 	pud, pmd, pte, ok := as.Table.Walk(va)
 	if !ok {
@@ -350,12 +359,12 @@ func (m *MMU) walk(ctx any, as *AddressSpace, va pagetable.VAddr, write bool, do
 		if !retried {
 			ms.AddSpan(trace.LayerMMU, "tlb-miss+walk", t0, m.eng.Now())
 		}
-		req := smu.Request{PUD: pud, PMD: pmd, PTE: pte, Block: blk, Prot: e.Prot(), Core: core, Trace: ms}
+		req := smu.Request{PUD: pud, PMD: pmd, PTE: pte, Block: blk, Prot: e.Prot(), Core: core, Tenant: tenant, Trace: ms}
 		c := m.getMissCont()
 		c.m, c.ctx, c.as, c.va, c.write, c.done = m, ctx, as, va, write, done
 		c.retried, c.t0, c.core, c.ms, c.pte = retried, t0, core, ms, pte
 		s.HandleMissArg(req, missDone, c)
-		m.prefetch(as, va, core, s)
+		m.prefetch(as, va, core, tenant, s)
 
 	case pagetable.StateNotPresentOS:
 		m.raiseOS(ctx, as, va, write, false, done, retried, t0, core, ms)
@@ -365,7 +374,7 @@ func (m *MMU) walk(ctx any, as *AddressSpace, va pagetable.VAddr, write bool, do
 // prefetch speculatively dispatches the next virtually-contiguous
 // LBA-augmented pages to the SMU. Failures (no free page) are silently
 // dropped: a prefetch must never cause an OS fault.
-func (m *MMU) prefetch(as *AddressSpace, va pagetable.VAddr, core int, s *smu.SMU) {
+func (m *MMU) prefetch(as *AddressSpace, va pagetable.VAddr, core, tenant int, s *smu.SMU) {
 	for i := 1; i <= m.PrefetchDegree; i++ {
 		nva := va.PageBase() + pagetable.VAddr(i)*4096
 		pud, pmd, pte, ok := as.Table.Walk(nva)
@@ -381,7 +390,7 @@ func (m *MMU) prefetch(as *AddressSpace, va pagetable.VAddr, core int, s *smu.SM
 			return
 		}
 		m.stats.Prefetches++
-		req := smu.Request{PUD: pud, PMD: pmd, PTE: pte, Block: blk, Prot: e.Prot(), Core: core}
+		req := smu.Request{PUD: pud, PMD: pmd, PTE: pte, Block: blk, Prot: e.Prot(), Core: core, Tenant: tenant}
 		pc := m.getPrefetchCont()
 		pc.m, pc.as, pc.va, pc.pte = m, as, nva, pte
 		s.HandleMissArg(req, prefetchDone, pc)

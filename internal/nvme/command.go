@@ -58,6 +58,11 @@ type Command struct {
 	SLBA   uint64 // starting LBA
 	NLB    uint16 // number of logical blocks, 0-based per spec
 	Urgent bool   // storage-side urgent priority (Section V)
+	// Tenant tags the command with the fleet tenant whose miss it serves
+	// (vendor-specific DW14; zero on the default single-tenant machine).
+	// Carrying it on the wire lets per-tenant I/O accounting survive the
+	// submission queue's encode/decode round trip.
+	Tenant uint16
 
 	// Trace is simulator-side metadata, not wire data: the trace context
 	// of the page miss this command serves (nil when tracing is disabled
@@ -71,7 +76,8 @@ func (c Command) Blocks() int { return int(c.NLB) + 1 }
 
 // Encode serializes the command into its 64-byte wire format
 // (spec-shaped: DW0 opcode/CID, DW1 NSID, DW6-7 PRP1, DW10-11 SLBA,
-// DW12 NLB; the urgent hint uses a reserved DW13 bit).
+// DW12 NLB; the urgent hint uses a reserved DW13 bit and the tenant tag a
+// vendor-specific DW14 field).
 func (c Command) Encode() [CommandSize]byte {
 	var b [CommandSize]byte
 	binary.LittleEndian.PutUint32(b[0:], uint32(c.Opcode)|uint32(c.CID)<<16)
@@ -82,6 +88,7 @@ func (c Command) Encode() [CommandSize]byte {
 	if c.Urgent {
 		b[52] = 1
 	}
+	binary.LittleEndian.PutUint16(b[56:], c.Tenant)
 	return b
 }
 
@@ -99,6 +106,7 @@ func Decode(b [CommandSize]byte) (Command, error) {
 		SLBA:   binary.LittleEndian.Uint64(b[40:]),
 		NLB:    uint16(binary.LittleEndian.Uint32(b[48:])),
 		Urgent: b[52] == 1,
+		Tenant: binary.LittleEndian.Uint16(b[56:]),
 	}
 	switch c.Opcode {
 	case OpFlush, OpWrite, OpRead:

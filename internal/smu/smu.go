@@ -68,6 +68,12 @@ type Request struct {
 	Prot          pagetable.Prot
 	Core          int
 
+	// Tenant is the fleet tenant the miss is charged to (0 on the default
+	// single-tenant machine): per-tenant counters mirror each handling
+	// outcome, and the QoS layer — when armed — runs weighted-fair
+	// admission on it.
+	Tenant int
+
 	// Trace is the miss's trace context (nil when tracing is disabled);
 	// the SMU attaches its handling-phase spans to it.
 	Trace *trace.Miss
@@ -219,6 +225,15 @@ type SMU struct {
 	backlogWait *metrics.Histogram
 	psi         *metrics.PSI
 
+	// tstats mirrors the per-request counters per fleet tenant (index =
+	// Request.Tenant; always at least tenant 0). qos, when non-nil, is the
+	// armed weighted-fair admission layer and qosWait its throttle-wait
+	// histogram; nil (the default) keeps admission strictly FIFO and every
+	// run byte-identical.
+	tstats  []TenantStats
+	qos     *qosState
+	qosWait *metrics.Histogram
+
 	// Pools: PMSHR entry state, admission carriers, and completion-notice
 	// carriers are recycled so the steady-state miss path allocates
 	// nothing.
@@ -276,6 +291,8 @@ func NewPerCore(eng *sim.Engine, sid uint8, freeQueueDepth, entries, cores int) 
 		nextCID:     1,
 		policy:      DefaultRetryPolicy(),
 		backlogWait: metrics.NewHistogram(),
+		qosWait:     metrics.NewHistogram(),
+		tstats:      make([]TenantStats, 1),
 	}
 	per := freeQueueDepth / cores
 	if per < 2 {
@@ -313,6 +330,7 @@ func NewPerCore(eng *sim.Engine, sid uint8, freeQueueDepth, entries, cores int) 
 	s.notifyFn = func(a any) {
 		e := a.(*pmshrEntry)
 		s.stats.Handled++
+		s.tstat(e.req.Tenant).Handled++
 		s.finish(e, ResultOK, e.newPTE)
 	}
 	s.anonFillFn = func(a any) { s.anonFill(a.(*pmshrEntry)) }
@@ -368,12 +386,14 @@ func (s *SMU) FreeQueue() *FreeQueue { return s.freeqs[0] }
 // eagerly prefetch. It returns how many records were accepted.
 func (s *SMU) Refill(recs []FrameRecord) int { return s.RefillCore(0, recs) }
 
-// RefillCore pushes frame records into one core's free page queue.
+// RefillCore pushes frame records into one core's free page queue and
+// drains any QoS-parked admissions the new frames unblock.
 func (s *SMU) RefillCore(core int, recs []FrameRecord) int {
 	q := s.queueFor(core)
 	n := q.Push(recs)
 	s.stats.FramesAccepted += uint64(n)
 	q.Prefetch()
+	s.qosDrain()
 	return n
 }
 
@@ -581,6 +601,7 @@ func (s *SMU) admit(req Request, done doneRef) {
 		//hwdp:ignore hotalloc waiters backing array is retained by the pooled entry (putEntry keeps capacity), so steady-state appends do not allocate
 		e.waiters = append(e.waiters, done)
 		s.stats.Coalesced++
+		s.tstat(req.Tenant).Coalesced++
 		return
 	}
 	if cur := req.PTE.Get(); cur.Present() {
@@ -590,9 +611,17 @@ func (s *SMU) admit(req Request, done doneRef) {
 		// race; answer with the installed translation instead of fetching
 		// a duplicate frame (which would alias the page).
 		s.stats.LateHits++
+		s.tstat(req.Tenant).LateHits++
 		now := s.eng.Now()
 		req.Trace.AddSpan(trace.LayerSMU, "late-hit-notify", now, now+s.timing.Notify)
 		s.notifySchedule(done, ResultOK, cur)
+		return
+	}
+
+	if s.qos != nil && s.qosBlocked(req) {
+		// The tenant is over one of its weighted-fair caps: park in its
+		// QoS queue; entry retirements and free-queue refills drain it.
+		s.qosPark(req, done)
 		return
 	}
 
@@ -601,6 +630,7 @@ func (s *SMU) admit(req Request, done doneRef) {
 		//hwdp:ignore hotalloc backlog only grows under PMSHR oversubscription and finish recycles it to backlog[:0], retaining capacity
 		s.backlog = append(s.backlog, backlogItem{req, done, s.eng.Now()})
 		s.stats.Backlogged++
+		s.tstat(req.Tenant).Backlogged++
 		s.psi.BeginStall(metrics.StallPMSHRBacklog, int64(s.eng.Now()))
 		return
 	}
@@ -613,6 +643,7 @@ func (s *SMU) admit(req Request, done doneRef) {
 	dev := s.devs[req.Block.DeviceID]
 	if dev == nil {
 		s.stats.IOErrors++
+		s.tstat(req.Tenant).IOErrors++
 		s.notifySchedule(done, ResultIOError, 0)
 		return
 	}
@@ -623,6 +654,7 @@ func (s *SMU) admit(req Request, done doneRef) {
 		// Free page queue empty: invalidate and fail to the OS, which
 		// handles the fault and refills the queue.
 		s.stats.NoFreePage++
+		s.tstat(req.Tenant).NoFreePage++
 		s.notifySchedule(done, ResultNoFreePage, 0)
 		return
 	}
@@ -630,9 +662,11 @@ func (s *SMU) admit(req Request, done doneRef) {
 	if !fromBuf {
 		fetchCost = s.timing.FreePageMem
 		s.stats.BufferMisses++
+		s.tstat(req.Tenant).BufferMisses++
 	}
 	s.trace("free page fetch", fetchCost)
 
+	s.qosCharge(req.Tenant, true)
 	idx := s.freeIdx[len(s.freeIdx)-1]
 	s.freeIdx = s.freeIdx[:len(s.freeIdx)-1]
 	e := s.getEntry()
@@ -689,8 +723,10 @@ func (s *SMU) issue(e *pmshrEntry) {
 		PRP1:   e.frame.DMA,
 		SLBA:   e.req.Block.LBA,
 		NLB:    0, // one 4 KiB block, no PRP list
+		Tenant: uint16(e.req.Tenant),
 		Trace:  e.req.Trace,
 	}
+	s.tstat(e.req.Tenant).Submitted++
 	if err := e.dev.qp.Submit(cmd); err != nil {
 		// Isolated queue sized to PMSHR depth: overflow is a model bug.
 		panic(fmt.Sprintf("smu: submit failed: %v", err))
@@ -725,6 +761,7 @@ func (s *SMU) issue(e *pmshrEntry) {
 func (s *SMU) onTimeout(e *pmshrEntry) {
 	e.timeout = nil
 	s.stats.Timeouts++
+	s.tstat(e.req.Tenant).Timeouts++
 	e.req.Trace.Mark(trace.LayerNVMe, "cmd-timeout", s.eng.Now())
 	e.dev.dev.Abort(e.dev.qp.ID, e.cid)
 	s.recover(e, nvme.StatusHostTimeout)
@@ -741,6 +778,7 @@ func (s *SMU) recover(e *pmshrEntry, status uint16) {
 		e.cid = 0
 		backoff := s.policy.Backoff << (e.attempts - 1)
 		s.stats.Retries++
+		s.tstat(e.req.Tenant).Retries++
 		now := s.eng.Now()
 		e.req.Trace.AddSpan(trace.LayerSMU, "retry-backoff", now, now+backoff)
 		s.eng.PostArg(backoff, s.issueFn, e)
@@ -748,6 +786,7 @@ func (s *SMU) recover(e *pmshrEntry, status uint16) {
 	}
 	if status == nvme.StatusUncorrectable || status == nvme.StatusWriteFault {
 		s.stats.UECCFailures++
+		s.tstat(e.req.Tenant).UECCFailures++
 	}
 	s.finish(e, ResultIOError, 0)
 }
@@ -763,6 +802,7 @@ func (s *SMU) admitAnon(req Request, done doneRef) {
 	rec, fromBuf, ok := freeq.Pop()
 	if !ok {
 		s.stats.NoFreePage++
+		s.tstat(req.Tenant).NoFreePage++
 		s.notifySchedule(done, ResultNoFreePage, 0)
 		return
 	}
@@ -770,10 +810,12 @@ func (s *SMU) admitAnon(req Request, done doneRef) {
 	if !fromBuf {
 		fetchCost = s.timing.FreePageMem
 		s.stats.BufferMisses++
+		s.tstat(req.Tenant).BufferMisses++
 	}
 	// Occupy a PMSHR entry for the handful of cycles the fill takes so
 	// that a concurrent duplicate miss coalesces instead of claiming a
 	// second frame (no page aliases, same as the I/O path).
+	s.qosCharge(req.Tenant, false)
 	addr := req.PTE.Addr()
 	idx := s.freeIdx[len(s.freeIdx)-1]
 	s.freeIdx = s.freeIdx[:len(s.freeIdx)-1]
@@ -806,6 +848,9 @@ func (s *SMU) anonFill(e *pmshrEntry) {
 	if cur := e.req.PTE.Get(); cur.Present() {
 		s.stats.RaceYields++
 		s.stats.Handled++
+		ts := s.tstat(e.req.Tenant)
+		ts.RaceYields++
+		ts.Handled++
 		core := e.req.Core
 		s.finish(e, ResultOK, cur)
 		s.queueFor(core).Prefetch()
@@ -817,6 +862,9 @@ func (s *SMU) anonFill(e *pmshrEntry) {
 	pagetable.MarkUnsynced(e.req.PUD, e.req.PMD)
 	s.stats.AnonZeroFill++
 	s.stats.Handled++
+	ts := s.tstat(e.req.Tenant)
+	ts.AnonZeroFill++
+	ts.Handled++
 	core := e.req.Core
 	s.finish(e, ResultOK, pte)
 	s.queueFor(core).Prefetch()
@@ -851,6 +899,7 @@ func (s *SMU) cqHandle(dev *devSlot) {
 	}
 	if !cp.OK() {
 		s.stats.IOErrors++
+		s.tstat(e.req.Tenant).IOErrors++
 		e.req.Trace.Mark(trace.LayerNVMe, "error-completion", s.eng.Now())
 		s.recover(e, cp.Status)
 		return
@@ -875,6 +924,7 @@ func (s *SMU) ptUpdate(e *pmshrEntry) {
 	// the walk with the OS's PTE; finish recycles our fetched frame.
 	if cur := e.req.PTE.Get(); cur.Present() {
 		s.stats.RaceYields++
+		s.tstat(e.req.Tenant).RaceYields++
 		e.newPTE = cur
 		s.trace("notify MMU", t.Notify)
 		notifyAt := s.eng.Now()
@@ -903,14 +953,17 @@ func (s *SMU) finish(e *pmshrEntry, res Result, pte pagetable.Entry) {
 	e.cid = 0
 	//hwdp:ignore hotalloc freeIdx was filled to full PMSHR depth at construction; append never exceeds that retained capacity
 	s.freeIdx = append(s.freeIdx, e.idx)
+	s.qosRelease(e.req.Tenant, e.dev != nil)
 	if e.installed {
 		s.stats.FramesInstalled++
+		s.tstat(e.req.Tenant).FramesInstalled++
 	} else {
 		// The popped frame was never installed (failure, or the PT
 		// update yielded to an OS-resolved PTE): return it to the free
 		// queue so it cannot leak (accepted == installed + held).
 		s.queueFor(e.req.Core).Requeue(e.frame)
 		s.stats.FramesRecycled++
+		s.tstat(e.req.Tenant).FramesRecycled++
 	}
 	addr := e.pteAddr
 	for _, w := range e.waiters {
@@ -932,9 +985,11 @@ func (s *SMU) finish(e *pmshrEntry, res Result, pte pagetable.Entry) {
 		s.psi.EndStall(metrics.StallPMSHRBacklog, int64(now), int64(now-item.at))
 		s.putEntry(e)
 		s.admit(item.req, item.done)
+		s.qosDrain()
 		return
 	}
 	s.putEntry(e)
+	s.qosDrain()
 }
 
 // Barrier invokes done once no outstanding miss references any of the given

@@ -53,6 +53,22 @@ func zeta(n uint64, theta float64) float64 {
 	return sum
 }
 
+// ZipfWeights returns the normalized zipfian popularity of ranks 0..n-1 at
+// the given skew (weights sum to 1; rank 0 is the most popular). The fleet
+// layer uses it for tenant intensity: a few hot tenants and a long tail,
+// the same heavy-traffic shape the key distributions model.
+func ZipfWeights(n int, theta float64) []float64 {
+	if n < 1 {
+		return nil
+	}
+	w := make([]float64, n)
+	sum := zeta(uint64(n), theta)
+	for i := 0; i < n; i++ {
+		w[i] = 1 / math.Pow(float64(i+1), theta) / sum
+	}
+	return w
+}
+
 // Next returns a zipf-distributed key with item 0 the most popular.
 func (z *Zipfian) Next(r *sim.Rand) uint64 {
 	u := r.Float64()

@@ -20,7 +20,7 @@ func testSystem(t *testing.T, scheme kernel.Scheme) *core.System {
 	cfg.FreeQueueDepth = 512
 	cfg.DeviceJitter = false
 	cfg.Kernel.KptedPeriod = 2 * sim.Millisecond
-	return core.NewSystem(cfg)
+	return cfg.Build()
 }
 
 func TestUniformGen(t *testing.T) {
